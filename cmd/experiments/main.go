@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper-reproduction tables (E1–E10, see
+// DESIGN.md §4) and prints them as markdown, optionally writing them to a
+// file for inclusion in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                      # all experiments at the default scale
+//	experiments -scale full          # laptop-scale run recorded in EXPERIMENTS.md
+//	experiments -only E3,E4          # a subset
+//	experiments -out results.md      # also write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"degentri/internal/exp"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "default", "workload scale: smoke, default, full")
+		only      = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		out       = flag.String("out", "", "optional path to also write the markdown report to")
+	)
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleFlag {
+	case "smoke":
+		scale = exp.ScaleSmoke
+	case "default":
+		scale = exp.ScaleDefault
+	case "full":
+		scale = exp.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "# Experiment report (scale=%s, generated %s)\n\n", scale, time.Now().Format(time.RFC3339))
+
+	for _, e := range exp.Registry() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s: %s ...\n", e.ID, e.Title)
+		tables, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&report, "## %s — %s\n\nPaper artifact: %s. Wall time: %s.\n\n",
+			e.ID, e.Title, e.Paper, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			report.WriteString(t.Markdown())
+			report.WriteString("\n")
+		}
+	}
+
+	fmt.Print(report.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

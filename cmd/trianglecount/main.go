@@ -1,0 +1,78 @@
+// Command trianglecount estimates (or exactly counts) the triangles of a
+// graph given as a whitespace-separated edge-list file.
+//
+// Usage:
+//
+//	trianglecount -input graph.txt                      # streaming estimate, auto parameters
+//	trianglecount -input graph.txt -kappa 4 -guess 1e6  # streaming estimate, explicit bounds
+//	trianglecount -input graph.txt -exact               # exact count (materializes the graph)
+//	trianglecount -input graph.txt -stats               # exact structural summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"degentri/triangle"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "path to the edge-list file (required)")
+		exact   = flag.Bool("exact", false, "compute the exact triangle count instead of estimating")
+		stats   = flag.Bool("stats", false, "print the exact structural summary (n, m, T, κ, ∆, transitivity)")
+		epsilon = flag.Float64("epsilon", 0.1, "target relative error of the estimate")
+		kappa   = flag.Int("kappa", 0, "upper bound on the degeneracy (0 = compute exactly, costs one materializing pass)")
+		guess   = flag.Int64("guess", 0, "lower-bound guess for the triangle count (0 = geometric search)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "trianglecount: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch {
+	case *stats:
+		s, err := triangle.GraphStatsFile(*input)
+		exitOn(err)
+		fmt.Printf("vertices      %d\n", s.Vertices)
+		fmt.Printf("edges         %d\n", s.Edges)
+		fmt.Printf("triangles     %d\n", s.Triangles)
+		fmt.Printf("degeneracy    %d\n", s.Degeneracy)
+		fmt.Printf("max degree    %d\n", s.MaxDegree)
+		fmt.Printf("d_E           %d\n", s.EdgeDegreeSum)
+		fmt.Printf("transitivity  %.6f\n", s.Transitivity)
+	case *exact:
+		t, err := triangle.ExactFile(*input)
+		exitOn(err)
+		fmt.Printf("exact triangle count: %d\n", t)
+	default:
+		res, err := triangle.EstimateFile(*input, triangle.Options{
+			Epsilon:          *epsilon,
+			Degeneracy:       *kappa,
+			TriangleGuess:    *guess,
+			Seed:             *seed,
+			SampleMultiplier: *mult,
+		})
+		exitOn(err)
+		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
+		fmt.Printf("edges:               %d\n", res.Edges)
+		fmt.Printf("degeneracy bound:    %d\n", res.DegeneracyBound)
+		fmt.Printf("stream passes:       %d\n", res.Passes)
+		fmt.Printf("space (words):       %d\n", res.SpaceWords)
+		if res.Aborted {
+			fmt.Println("warning: run aborted at the space cutoff; the estimate is unreliable")
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trianglecount:", err)
+		os.Exit(1)
+	}
+}

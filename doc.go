@@ -1,0 +1,14 @@
+// Package degentri is the root of a reproduction of Bera & Seshadhri,
+// "How the Degeneracy Helps for Triangle Counting in Graph Streams"
+// (PODS 2020).
+//
+// The public API lives in the triangle subpackage; the algorithms, graph
+// substrate, generators, baselines, lower-bound construction, and experiment
+// harness live under internal/. See README.md for the layout, DESIGN.md for
+// the system inventory and experiment index, and EXPERIMENTS.md for the
+// recorded results.
+//
+// The root package only hosts the repository-level benchmark harness
+// (bench_test.go), which exposes one testing.B benchmark per reproduced
+// experiment.
+package degentri

@@ -1,0 +1,46 @@
+// Social-network example: a heavy-tailed Chung–Lu graph (the model commonly
+// fitted to social networks) has a few very high-degree hubs but a small
+// degeneracy, and plenty of triangles. The example shows (a) how far apart ∆
+// and κ are, (b) how the estimate tightens as the sample multiplier grows,
+// and (c) the derived transitivity (global clustering coefficient).
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"degentri/triangle"
+)
+
+func main() {
+	// ~40k-vertex power-law graph with average degree 8 and exponent 2.3.
+	edges := triangle.PowerLaw(40_000, 8, 2.3, 7)
+	stats := triangle.GraphStats(edges)
+
+	fmt.Println("synthetic social network (Chung–Lu power law)")
+	fmt.Printf("  vertices:      %d\n", stats.Vertices)
+	fmt.Printf("  edges:         %d\n", stats.Edges)
+	fmt.Printf("  max degree ∆:  %d\n", stats.MaxDegree)
+	fmt.Printf("  degeneracy κ:  %d   (κ ≪ ∆ is what the paper exploits)\n", stats.Degeneracy)
+	fmt.Printf("  triangles:     %d\n", stats.Triangles)
+	fmt.Printf("  transitivity:  %.4f\n\n", stats.Transitivity)
+
+	fmt.Printf("%12s %14s %14s %10s\n", "multiplier", "estimate", "space(words)", "rel.err")
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		res, err := triangle.Estimate(edges, triangle.Options{
+			Epsilon:          0.1,
+			Degeneracy:       stats.Degeneracy,
+			TriangleGuess:    stats.Triangles / 2,
+			Seed:             uint64(10 * mult),
+			SampleMultiplier: mult,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := (res.Estimate - float64(stats.Triangles)) / float64(stats.Triangles)
+		fmt.Printf("%12.1f %14.0f %14d %9.1f%%\n", mult, res.Estimate, res.SpaceWords, 100*rel)
+	}
+	fmt.Println("\nDoubling the multiplier roughly doubles the space and shrinks the error ~1/√2.")
+}

@@ -1,0 +1,156 @@
+package degentri
+
+// End-to-end integration tests that exercise the whole stack the way a
+// downstream user would: generate a workload, write it to an edge-list file,
+// stream it back through the public API and the internal estimators, and
+// check that every layer agrees on the ground truth.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"degentri/internal/baseline"
+	"degentri/internal/core"
+	"degentri/internal/gen"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+	"degentri/triangle"
+)
+
+func TestEndToEndFileWorkflow(t *testing.T) {
+	g := gen.HolmeKim(3000, 4, 0.7, 99)
+	truth := g.TriangleCount()
+	kappa := g.Degeneracy()
+	path := filepath.Join(t.TempDir(), "hk.txt")
+	if err := stream.WriteGraphFile(path, g, "integration workload"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact count through the file-based public API.
+	exact, err := triangle.ExactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != truth {
+		t.Fatalf("ExactFile = %d, want %d", exact, truth)
+	}
+
+	// Streaming estimate through the file-based public API with explicit
+	// parameters (no materialization).
+	var sum float64
+	trials := 5
+	for i := 0; i < trials; i++ {
+		res, err := triangle.EstimateFile(path, triangle.Options{
+			Epsilon:       0.1,
+			Degeneracy:    kappa,
+			TriangleGuess: truth,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Edges != g.NumEdges() {
+			t.Fatalf("m = %d, want %d", res.Edges, g.NumEdges())
+		}
+		sum += res.Estimate
+	}
+	rel := sampling.RelativeError(sum/float64(trials), float64(truth))
+	if rel > 0.3 {
+		t.Fatalf("file-based estimate relative error %.3f", rel)
+	}
+}
+
+func TestEndToEndAllEstimatorsAgree(t *testing.T) {
+	// Every estimator in the repository should land in the right ballpark on
+	// the same moderate workload.
+	g := gen.Apollonian(4000)
+	truth := float64(g.TriangleCount())
+	kappa := g.Degeneracy()
+	src := func(seed uint64) stream.Stream { return stream.FromGraphShuffled(g, seed) }
+
+	// Exact baseline.
+	exactRes, err := baseline.Exact(src(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactRes.Estimate != truth {
+		t.Fatalf("exact baseline %v != %v", exactRes.Estimate, truth)
+	}
+
+	type namedRun struct {
+		name string
+		run  func(seed uint64) (core.Result, error)
+		tol  float64
+	}
+	runs := []namedRun{
+		{"core six-pass", func(seed uint64) (core.Result, error) {
+			cfg := core.DefaultConfig(0.1, kappa, int64(truth))
+			cfg.CR, cfg.CL, cfg.CS = 16, 16, 8
+			cfg.Seed = seed
+			return core.EstimateTriangles(src(seed), cfg)
+		}, 0.3},
+		{"core oracle", func(seed uint64) (core.Result, error) {
+			cfg := core.DefaultConfig(0.1, kappa, int64(truth))
+			cfg.Seed = seed
+			return core.IdealEstimator(src(seed), core.NewGraphOracle(g), cfg, 2000)
+		}, 0.3},
+		{"heavy-light", func(seed uint64) (core.Result, error) {
+			return baseline.HeavyLight(src(seed), baseline.HeavyLightConfig{SampledEdges: 3000, Seed: seed})
+		}, 0.3},
+		{"doulion", func(seed uint64) (core.Result, error) {
+			return baseline.Doulion(src(seed), baseline.DoulionConfig{P: 0.3, Seed: seed})
+		}, 0.3},
+		{"neighbor sampling", func(seed uint64) (core.Result, error) {
+			return baseline.NeighborSampling(src(seed), baseline.NeighborSamplingConfig{Estimators: 4000, Seed: seed})
+		}, 0.35},
+	}
+	for _, r := range runs {
+		var sum float64
+		trials := 5
+		for i := 0; i < trials; i++ {
+			res, err := r.run(uint64(i + 3))
+			if err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			sum += res.Estimate
+		}
+		rel := sampling.RelativeError(sum/float64(trials), truth)
+		if rel > r.tol {
+			t.Errorf("%s: relative error %.3f > %.2f", r.name, rel, r.tol)
+		}
+	}
+}
+
+func TestEndToEndSpaceHierarchy(t *testing.T) {
+	// On a large low-degeneracy, triangle-rich graph the paper's estimator
+	// should retain far fewer words than the exact (store-everything)
+	// baseline at its default budget.
+	g := gen.HolmeKim(20000, 4, 0.7, 5)
+	truth := g.TriangleCount()
+	exact, err := baseline.Exact(stream.FromGraphShuffled(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var maxSpace int64
+	trials := 4
+	for i := 0; i < trials; i++ {
+		cfg := core.DefaultConfig(0.1, 4, truth)
+		cfg.CR, cfg.CL, cfg.CS = 16, 16, 8
+		cfg.Seed = uint64(7 + 13*i)
+		ours, err := core.EstimateTriangles(stream.FromGraphShuffled(g, uint64(2+i)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ours.Estimate
+		if ours.SpaceWords > maxSpace {
+			maxSpace = ours.SpaceWords
+		}
+	}
+	if maxSpace*4 > exact.SpaceWords {
+		t.Fatalf("streaming space %d not well below exact storage %d", maxSpace, exact.SpaceWords)
+	}
+	if rel := sampling.RelativeError(sum/float64(trials), float64(truth)); rel > 0.4 {
+		t.Fatalf("averaged estimate off by %.3f", rel)
+	}
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"fmt"
+
+	"degentri/internal/core"
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// DoulionConfig configures the one-pass sparsification estimator.
+type DoulionConfig struct {
+	// P is the edge retention probability in (0, 1].
+	P float64
+	// Seed drives the coin flips.
+	Seed uint64
+}
+
+// Doulion implements the "triangle counting with a coin" estimator of
+// Tsourakakis, Kang, Miller, Faloutsos (KDD 2009): keep every edge
+// independently with probability p, count the triangles T' of the sparsified
+// graph exactly, and report T' / p³. It is a single pass and stores ~pm
+// edges; its relative variance blows up once p³·t_e terms get small, which is
+// exactly the regime the comparison experiments probe.
+func Doulion(src stream.Stream, cfg DoulionConfig) (core.Result, error) {
+	if cfg.P <= 0 || cfg.P > 1 {
+		return core.Result{}, fmt.Errorf("baseline: doulion retention probability %v outside (0,1]", cfg.P)
+	}
+	rng := sampling.NewRNG(cfg.Seed)
+	meter := stream.NewSpaceMeter()
+	counter := stream.NewPassCounter(src)
+
+	b := graph.NewBuilder(0)
+	kept := 0
+	m, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if rng.Bernoulli(cfg.P) {
+			b.AddEdge(e.U, e.V)
+			kept++
+			meter.Charge(stream.WordsPerEdge)
+		}
+		return nil
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	g := b.Build()
+	sparseT := g.TriangleCount()
+	scale := 1.0 / (cfg.P * cfg.P * cfg.P)
+	return core.Result{
+		Estimate:       float64(sparseT) * scale,
+		Passes:         counter.Passes(),
+		SpaceWords:     meter.Peak(),
+		EdgesInStream:  m,
+		SampledEdges:   kept,
+		TrianglesFound: int(sparseT),
+	}, nil
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"fmt"
+
+	"degentri/internal/core"
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// NeighborSamplingConfig configures the one-pass neighbor-sampling estimator.
+type NeighborSamplingConfig struct {
+	// Estimators is the number of parallel estimator copies (the space is
+	// proportional to it; Θ(m∆/(ε²T)) copies give a (1±ε) estimate).
+	Estimators int
+	// Groups > 1 aggregates the copies by median-of-means instead of the
+	// plain mean.
+	Groups int
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// neighborEstimator is the O(1)-space state of one copy of the Pavan et al.
+// estimator.
+type neighborEstimator struct {
+	r1      graph.Edge
+	hasR1   bool
+	seen1   int64 // edges seen so far (for the level-1 reservoir)
+	c       int64 // edges adjacent to r1 seen after r1 was sampled
+	r2      graph.Edge
+	hasR2   bool
+	closing graph.Edge // the edge that would close the wedge (r1, r2)
+	closed  bool
+}
+
+// NeighborSampling implements the single-pass neighbor-sampling estimator of
+// Pavan, Tangwongsan, Tirthapura, Wu (VLDB 2013). Each copy reservoir-samples
+// an edge r1, then reservoir-samples an edge r2 among the later edges that
+// share an endpoint with r1 (tracking their number c), and finally watches
+// for the unique edge that closes the wedge {r1, r2}. The per-copy estimate
+// is m·c when the wedge closed and 0 otherwise; every triangle is counted via
+// its stream-order-first two edges, so the estimator is unbiased. Accuracy to
+// (1±ε) requires Θ(m∆/(ε²T)) copies — the ∆ dependence is what the paper's
+// degeneracy-based algorithm removes.
+func NeighborSampling(src stream.Stream, cfg NeighborSamplingConfig) (core.Result, error) {
+	if cfg.Estimators < 1 {
+		return core.Result{}, fmt.Errorf("baseline: neighbor sampling needs at least one estimator, got %d", cfg.Estimators)
+	}
+	rng := sampling.NewRNG(cfg.Seed)
+	meter := stream.NewSpaceMeter()
+	counter := stream.NewPassCounter(src)
+
+	copies := make([]*neighborEstimator, cfg.Estimators)
+	for i := range copies {
+		copies[i] = &neighborEstimator{}
+	}
+	// Each copy stores two edges, one candidate closing edge, and a few
+	// scalars.
+	meter.Charge(int64(cfg.Estimators) * (3*stream.WordsPerEdge + 4*stream.WordsPerScalar))
+
+	m, err := stream.ForEach(counter, func(e graph.Edge) error {
+		e = e.Normalize()
+		for _, est := range copies {
+			est.observe(e, rng)
+		}
+		return nil
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+
+	values := make([]float64, len(copies))
+	found := 0
+	for i, est := range copies {
+		if est.closed {
+			values[i] = float64(m) * float64(est.c)
+			found++
+		}
+	}
+	estimate := sampling.MedianOfMeans(values, cfg.Groups)
+	return core.Result{
+		Estimate:       estimate,
+		Passes:         counter.Passes(),
+		SpaceWords:     meter.Peak(),
+		EdgesInStream:  m,
+		Instances:      cfg.Estimators,
+		TrianglesFound: found,
+	}, nil
+}
+
+// observe advances one estimator copy by one stream edge.
+func (est *neighborEstimator) observe(e graph.Edge, rng *sampling.RNG) {
+	// Level-1 reservoir over all edges.
+	est.seen1++
+	if rng.Int63n(est.seen1) == 0 {
+		est.r1 = e
+		est.hasR1 = true
+		est.c = 0
+		est.hasR2 = false
+		est.closed = false
+		return // r1 was just (re)sampled; e cannot also be a level-2 edge.
+	}
+	if !est.hasR1 {
+		return
+	}
+	// Closure check for the current wedge must happen before potentially
+	// replacing r2: the closing edge must arrive after r2.
+	if est.hasR2 && !est.closed && e == est.closing {
+		est.closed = true
+	}
+	// Level-2 reservoir over edges adjacent to r1 arriving after r1.
+	if sharesEndpoint(e, est.r1) {
+		est.c++
+		if rng.Int63n(est.c) == 0 {
+			est.r2 = e
+			est.hasR2 = true
+			est.closed = false
+			est.closing = wedgeClosingEdge(est.r1, est.r2)
+		}
+	}
+}
+
+// sharesEndpoint reports whether two distinct edges share exactly one
+// endpoint (i.e. they form a wedge).
+func sharesEndpoint(a, b graph.Edge) bool {
+	if a == b {
+		return false
+	}
+	return a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V
+}
+
+// wedgeClosingEdge returns the edge joining the two non-shared endpoints of a
+// wedge. If the edges do not form a wedge it returns an impossible edge that
+// never matches a stream edge.
+func wedgeClosingEdge(a, b graph.Edge) graph.Edge {
+	var shared int
+	switch {
+	case a.U == b.U || a.U == b.V:
+		shared = a.U
+	case a.V == b.U || a.V == b.V:
+		shared = a.V
+	default:
+		return graph.Edge{U: -1, V: -1}
+	}
+	return graph.NewEdge(a.Other(shared), b.Other(shared))
+}

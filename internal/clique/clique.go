@@ -1,0 +1,377 @@
+// Package clique implements the paper's future-work direction (Conjecture
+// 7.1): a constant-pass streaming estimator for the number of k-cliques in a
+// low-degeneracy graph, generalizing the triangle estimator of Section 5.
+//
+// The estimator follows the same blueprint as Algorithm 2: sample a uniform
+// edge multiset R, compute edge degrees, draw degree-proportional instances
+// from R, and for each instance draw k−2 independent uniform vertices from
+// the neighborhood of the light endpoint; the instance succeeds when the
+// sampled vertices are distinct and, together with the edge's endpoints, form
+// a k-clique. Each success contributes d_e^{k-3}, and the estimate is scaled
+// so that every clique is counted once through each of its C(k,2) edges.
+// For k = 3 this degenerates exactly to the triangle estimator without the
+// assignment rule; the per-edge clique counts are bounded by O(κ^{k-2})
+// (Chiba–Nishizeki), which is what the conjectured O~(mκ^{k-2}/T_k) space
+// bound reflects.
+//
+// This is an extension beyond the paper's proven results: the estimator is
+// unbiased (a calculation identical to Section 4's), but the repository makes
+// no claim that its variance matches the conjecture on all graphs — the E11
+// experiment measures it empirically on the low-degeneracy families.
+package clique
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// Config parameterizes the k-clique estimator.
+type Config struct {
+	// K is the clique size (K >= 3).
+	K int
+	// Epsilon is the target relative error (documentation only; the sample
+	// sizes are controlled by the overrides or the guess-based formulas).
+	Epsilon float64
+	// Kappa is an upper bound on the degeneracy.
+	Kappa int
+	// CliqueGuess is a lower-bound guess for the k-clique count, used to size
+	// the samples.
+	CliqueGuess int64
+	// CR and CL scale the edge-sample size r and the instance count ℓ.
+	CR, CL float64
+	// ROverride and LOverride bypass the formulas when positive.
+	ROverride, LOverride int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a practical configuration.
+func DefaultConfig(k int, epsilon float64, kappa int, guess int64) Config {
+	return Config{K: k, Epsilon: epsilon, Kappa: kappa, CliqueGuess: guess, CR: 8, CL: 8, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.K < 3 {
+		return fmt.Errorf("clique: K must be >= 3, got %d", c.K)
+	}
+	if c.K > 8 {
+		return fmt.Errorf("clique: K = %d unreasonably large for this estimator", c.K)
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("clique: epsilon must be in (0,1), got %v", c.Epsilon)
+	}
+	if c.Kappa < 1 {
+		return fmt.Errorf("clique: kappa must be >= 1, got %d", c.Kappa)
+	}
+	if c.CliqueGuess < 1 {
+		return fmt.Errorf("clique: CliqueGuess must be >= 1, got %d", c.CliqueGuess)
+	}
+	if c.CR <= 0 || c.CL <= 0 {
+		return fmt.Errorf("clique: CR and CL must be positive")
+	}
+	return nil
+}
+
+// Result reports the estimate and resource usage.
+type Result struct {
+	Estimate      float64
+	Passes        int
+	SpaceWords    int64
+	EdgesInStream int
+	SampledEdges  int
+	Instances     int
+	CliquesFound  int
+}
+
+// sampleSizeR returns r = CR · m·κ^{k-2} / guess, clamped to [1, m].
+func (c Config) sampleSizeR(m int) int {
+	if c.ROverride > 0 {
+		if c.ROverride > m {
+			return m
+		}
+		return c.ROverride
+	}
+	r := c.CR * float64(m) * math.Pow(float64(c.Kappa), float64(c.K-2)) / float64(c.CliqueGuess)
+	return clampInt(int(math.Ceil(r)), 1, maxInt(m, 1))
+}
+
+// sampleSizeL returns ℓ = CL · m·d_R·κ^{k-3} / (r·guess), clamped to >= 1.
+func (c Config) sampleSizeL(m, r int, dR int64) int {
+	if c.LOverride > 0 {
+		return c.LOverride
+	}
+	if dR <= 0 {
+		return 1
+	}
+	l := c.CL * float64(m) * float64(dR) * math.Pow(float64(c.Kappa), float64(c.K-3)) /
+		(float64(r) * float64(c.CliqueGuess))
+	return clampInt(int(math.Ceil(l)), 1, 1<<26)
+}
+
+// instance is one degree-proportional estimator instance.
+type instance struct {
+	edge    graph.Edge
+	edgeDeg int
+	light   int
+	other   int
+	// One size-1 reservoir per required extra vertex.
+	seen    []int64
+	sampled []int
+	// Adjacency requirements discovered in the closure pass.
+	required int
+	matched  int
+	distinct bool
+}
+
+// Estimate runs the k-clique estimator over the stream. It uses four passes
+// (plus a counting pass when the stream length is unknown).
+func Estimate(src stream.Stream, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := sampling.NewRNG(cfg.Seed)
+	meter := stream.NewSpaceMeter()
+	counter := stream.NewPassCounter(src)
+	res := Result{}
+
+	m, known := counter.Len()
+	if !known {
+		var err error
+		m, err = stream.CountEdges(counter)
+		if err != nil {
+			return res, err
+		}
+	}
+	res.EdgesInStream = m
+	if m == 0 {
+		res.Passes = counter.Passes()
+		return res, nil
+	}
+
+	// Pass 1: uniform edge sample (with replacement).
+	r := cfg.sampleSizeR(m)
+	res.SampledEdges = r
+	R, err := sampleUniformEdges(counter, rng, m, r)
+	if err != nil {
+		return res, err
+	}
+	meter.Charge(int64(len(R)) * stream.WordsPerEdge)
+
+	// Pass 2: degrees of endpoints of R.
+	vertexDeg := make(map[int]int)
+	for _, e := range R {
+		vertexDeg[e.U] = 0
+		vertexDeg[e.V] = 0
+	}
+	meter.Charge(int64(len(vertexDeg)) * stream.WordsPerCounter)
+	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if _, ok := vertexDeg[e.U]; ok {
+			vertexDeg[e.U]++
+		}
+		if _, ok := vertexDeg[e.V]; ok {
+			vertexDeg[e.V]++
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	edgeDegs := make([]int64, len(R))
+	var dR int64
+	for i, e := range R {
+		de := vertexDeg[e.U]
+		if vertexDeg[e.V] < de {
+			de = vertexDeg[e.V]
+		}
+		edgeDegs[i] = int64(de)
+		dR += int64(de)
+	}
+	if dR == 0 {
+		res.Passes = counter.Passes()
+		res.SpaceWords = meter.Peak()
+		return res, nil
+	}
+
+	// Instances proportional to d_e.
+	l := cfg.sampleSizeL(m, r, dR)
+	res.Instances = l
+	cum, err := sampling.NewCumulativeSampler(edgeDegs)
+	if err != nil {
+		return res, err
+	}
+	extra := cfg.K - 2
+	instances := make([]*instance, l)
+	lightIndex := make(map[int][]*instance)
+	for i := 0; i < l; i++ {
+		idx := cum.Sample(rng)
+		e := R[idx]
+		inst := &instance{
+			edge:    e,
+			edgeDeg: int(edgeDegs[idx]),
+			seen:    make([]int64, extra),
+			sampled: make([]int, extra),
+		}
+		for j := range inst.sampled {
+			inst.sampled[j] = -1
+		}
+		if vertexDeg[e.U] <= vertexDeg[e.V] {
+			inst.light, inst.other = e.U, e.V
+		} else {
+			inst.light, inst.other = e.V, e.U
+		}
+		instances[i] = inst
+		lightIndex[inst.light] = append(lightIndex[inst.light], inst)
+	}
+	meter.Charge(int64(l) * int64(6+2*extra) * stream.WordsPerScalar)
+
+	// Pass 3: k-2 independent uniform neighbors of the light endpoint.
+	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if insts, ok := lightIndex[e.U]; ok {
+			for _, inst := range insts {
+				inst.offer(e.V, rng)
+			}
+		}
+		if insts, ok := lightIndex[e.V]; ok {
+			for _, inst := range insts {
+				inst.offer(e.U, rng)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	// Pass 4: verify all remaining adjacencies of each candidate clique.
+	needed := make(map[graph.Edge][]*instance)
+	for _, inst := range instances {
+		inst.prepare(needed)
+	}
+	meter.Charge(int64(len(needed)) * (stream.WordsPerEdge + stream.WordsPerScalar))
+	if len(needed) > 0 {
+		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+			if insts, ok := needed[e.Normalize()]; ok {
+				for _, inst := range insts {
+					inst.matched++
+				}
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	// Final estimate.
+	var sum float64
+	for _, inst := range instances {
+		if !inst.distinct || inst.matched < inst.required {
+			continue
+		}
+		res.CliquesFound++
+		sum += math.Pow(float64(inst.edgeDeg), float64(cfg.K-3))
+	}
+	meanV := sum / float64(l)
+	pairs := float64(cfg.K*(cfg.K-1)) / 2
+	factorial := 1.0
+	for i := 2; i <= extra; i++ {
+		factorial *= float64(i)
+	}
+	res.Estimate = float64(m) / float64(r) * float64(dR) * meanV / (factorial * pairs)
+	res.Passes = counter.Passes()
+	res.SpaceWords = meter.Peak()
+	return res, nil
+}
+
+// offer feeds a neighbor of the light endpoint to every per-slot reservoir.
+func (inst *instance) offer(v int, rng *sampling.RNG) {
+	for j := range inst.sampled {
+		inst.seen[j]++
+		if rng.Int63n(inst.seen[j]) == 0 {
+			inst.sampled[j] = v
+		}
+	}
+}
+
+// prepare validates distinctness and registers the adjacency checks the
+// closure pass must confirm: every sampled vertex must be adjacent to the
+// heavy endpoint, and all sampled vertices must be pairwise adjacent.
+// (Adjacency to the light endpoint holds by construction.)
+func (inst *instance) prepare(needed map[graph.Edge][]*instance) {
+	inst.distinct = true
+	for i, w := range inst.sampled {
+		if w < 0 || w == inst.other || w == inst.light {
+			inst.distinct = false
+			return
+		}
+		for j := 0; j < i; j++ {
+			if inst.sampled[j] == w {
+				inst.distinct = false
+				return
+			}
+		}
+	}
+	for i, w := range inst.sampled {
+		key := graph.NewEdge(inst.other, w)
+		needed[key] = append(needed[key], inst)
+		inst.required++
+		for j := i + 1; j < len(inst.sampled); j++ {
+			key := graph.NewEdge(w, inst.sampled[j])
+			needed[key] = append(needed[key], inst)
+			inst.required++
+		}
+	}
+}
+
+// sampleUniformEdges draws r edges with replacement in a single pass by
+// pre-drawing sorted positions.
+func sampleUniformEdges(src stream.Stream, rng *sampling.RNG, m, r int) ([]graph.Edge, error) {
+	positions := make([]int, r)
+	for i := range positions {
+		positions[i] = rng.Intn(m)
+	}
+	sort.Ints(positions)
+	sample := make([]graph.Edge, r)
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	pos, next := 0, 0
+	for {
+		e, err := src.Next()
+		if err == stream.ErrEndOfPass {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for next < r && positions[next] == pos {
+			sample[next] = e.Normalize()
+			next++
+		}
+		pos++
+	}
+	if next < r {
+		return nil, fmt.Errorf("clique: stream ended after %d edges, expected %d", pos, m)
+	}
+	return sample, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// triState is the per-triangle state of the assignment procedure
+// (Algorithm 3). Each of the three edge slots carries its own neighborhood
+// sample of size s.
+type triState struct {
+	tri    graph.Triangle
+	edges  [3]graph.Edge
+	light  [3]int
+	other  [3]int
+	deg    [3]int   // d_f = min endpoint degree of the slot's edge
+	skip   [3]bool  // true when d_f exceeds the heavy-degree threshold (line 9)
+	seen   [3]int64 // neighbors of the light endpoint seen so far (pass 5)
+	sample [3][]int // s reservoir samples from N(f)
+	closed [3]int   // how many of the s samples closed a triangle (pass 6)
+	ye     [3]float64
+}
+
+// slotRef points at one edge slot of one triangle state.
+type slotRef struct {
+	st   *triState
+	slot int
+}
+
+// assign runs the triangle-to-edge assignment phase and returns, for every
+// distinct triangle discovered by the instances, the edge it is assigned to.
+// Triangles left unassigned (Algorithm 3 returning ⊥) have no map entry.
+//
+// RuleNone needs no assignment and returns an empty map without extra
+// passes. RuleLowestDegree assigns to the minimum-degree edge using degrees
+// already measured in passes 2 and 4, also without extra passes.
+// RuleLowestCount is the paper's rule and performs passes 5 and 6.
+func (est *Estimator) assign(
+	counter stream.Stream,
+	res *Result,
+	instances []*instance,
+	degreeOf func(int) (int, bool),
+	m int,
+) (map[graph.Triangle]graph.Edge, error) {
+	cfg := est.cfg
+	assignments := make(map[graph.Triangle]graph.Edge)
+	if cfg.Rule == RuleNone {
+		return assignments, nil
+	}
+
+	// Deduplicate the discovered triangles: the memo table of Section 5.1,
+	// which also guarantees that repeated IsAssigned calls are consistent.
+	states := make(map[graph.Triangle]*triState)
+	for _, inst := range instances {
+		if !inst.closed {
+			continue
+		}
+		if _, ok := states[inst.tri]; ok {
+			continue
+		}
+		st := &triState{tri: inst.tri, edges: inst.tri.Edges()}
+		for slot, f := range st.edges {
+			du, okU := degreeOf(f.U)
+			dv, okV := degreeOf(f.V)
+			if !okU || !okV {
+				// Should not happen: every triangle vertex is either an R
+				// endpoint (pass 2) or an apex (pass 4). Treat as skip so the
+				// run degrades gracefully instead of crashing.
+				st.skip[slot] = true
+				st.ye[slot] = math.Inf(1)
+				continue
+			}
+			de := du
+			if dv < de {
+				de = dv
+			}
+			st.deg[slot] = de
+			if du <= dv {
+				st.light[slot], st.other[slot] = f.U, f.V
+			} else {
+				st.light[slot], st.other[slot] = f.V, f.U
+			}
+		}
+		states[inst.tri] = st
+	}
+	res.DistinctTriangles = len(states)
+	if len(states) == 0 {
+		return assignments, nil
+	}
+
+	if cfg.Rule == RuleLowestDegree {
+		for tri, st := range states {
+			best := -1
+			for slot := range st.edges {
+				if st.skip[slot] {
+					continue
+				}
+				if best < 0 || st.deg[slot] < st.deg[best] ||
+					(st.deg[slot] == st.deg[best] && lessEdge(st.edges[slot], st.edges[best])) {
+					best = slot
+				}
+			}
+			if best >= 0 {
+				assignments[tri] = st.edges[best]
+			}
+		}
+		est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
+		return assignments, nil
+	}
+
+	// RuleLowestCount: the full Algorithm 3.
+	s := cfg.sampleSizeS(m)
+	res.AssignmentSamples = s
+	heavyThreshold := cfg.heavyEdgeDegreeThreshold(m)
+	cutoff := cfg.assignmentCutoff()
+
+	lightIndex := make(map[int][]slotRef)
+	needsPasses := false
+	for _, st := range states {
+		for slot := range st.edges {
+			if st.skip[slot] {
+				continue
+			}
+			if float64(st.deg[slot]) > heavyThreshold {
+				// Line 9 of Algorithm 3: the edge is too expensive to probe.
+				st.skip[slot] = true
+				st.ye[slot] = math.Inf(1)
+				continue
+			}
+			st.sample[slot] = make([]int, s)
+			for j := range st.sample[slot] {
+				st.sample[slot][j] = -1
+			}
+			lightIndex[st.light[slot]] = append(lightIndex[st.light[slot]], slotRef{st: st, slot: slot})
+			needsPasses = true
+		}
+		est.meter.Charge(int64(3*(s+8)) * stream.WordsPerScalar)
+	}
+	if est.overBudget() {
+		res.Aborted = true
+		return assignments, nil
+	}
+
+	if needsPasses {
+		// ----- Pass 5: s uniform neighborhood samples per active slot. -----
+		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+			if refs, ok := lightIndex[e.U]; ok {
+				for _, ref := range refs {
+					ref.offer(e.V, est)
+				}
+			}
+			if refs, ok := lightIndex[e.V]; ok {
+				for _, ref := range refs {
+					ref.offer(e.U, est)
+				}
+			}
+			return nil
+		}); err != nil {
+			return assignments, err
+		}
+
+		// ----- Pass 6: closure checks for all drawn samples. -----
+		type hit struct {
+			st    *triState
+			slot  int
+			count int
+		}
+		closure := make(map[graph.Edge][]*hit)
+		for _, st := range states {
+			for slot := range st.edges {
+				if st.skip[slot] || st.sample[slot] == nil {
+					continue
+				}
+				perVertex := make(map[int]int)
+				for _, w := range st.sample[slot] {
+					if w >= 0 && w != st.other[slot] {
+						perVertex[w]++
+					}
+				}
+				for w, count := range perVertex {
+					key := graph.NewEdge(st.other[slot], w)
+					closure[key] = append(closure[key], &hit{st: st, slot: slot, count: count})
+				}
+			}
+		}
+		est.meter.Charge(int64(len(closure)) * (stream.WordsPerEdge + 2*stream.WordsPerScalar))
+		if est.overBudget() {
+			res.Aborted = true
+			return assignments, nil
+		}
+		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+			if hits, ok := closure[e.Normalize()]; ok {
+				for _, h := range hits {
+					h.st.closed[h.slot] += h.count
+				}
+			}
+			return nil
+		}); err != nil {
+			return assignments, err
+		}
+	}
+
+	// Line 16–21: estimate Ye per slot and pick the minimizer.
+	for tri, st := range states {
+		for slot := range st.edges {
+			if st.skip[slot] {
+				st.ye[slot] = math.Inf(1)
+				continue
+			}
+			st.ye[slot] = float64(st.deg[slot]) * float64(st.closed[slot]) / float64(s)
+		}
+		best := 0
+		for slot := 1; slot < 3; slot++ {
+			if st.ye[slot] < st.ye[best] ||
+				(st.ye[slot] == st.ye[best] && lessEdge(st.edges[slot], st.edges[best])) {
+				best = slot
+			}
+		}
+		if math.IsInf(st.ye[best], 1) || st.ye[best] > cutoff {
+			continue // unassigned (⊥)
+		}
+		assignments[tri] = st.edges[best]
+	}
+	est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
+	return assignments, nil
+}
+
+// offer feeds one neighbor of the slot's light endpoint into the slot's s
+// independent size-1 reservoirs (sampling with replacement from N(f)).
+func (ref slotRef) offer(v int, est *Estimator) {
+	st, slot := ref.st, ref.slot
+	st.seen[slot]++
+	n := st.seen[slot]
+	for j := range st.sample[slot] {
+		if est.rng.Int63n(n) == 0 {
+			st.sample[slot][j] = v
+		}
+	}
+}

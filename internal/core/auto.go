@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"degentri/internal/stream"
+)
+
+// AutoEstimate removes the "T is known" assumption behind Config.TGuess by
+// the standard geometric search: start from the Chiba–Nishizeki upper bound
+// T ≤ 2mκ (Corollary 3.2), run the estimator, and halve the guess until the
+// estimate is consistent with it (estimate ≥ guess). Each halving doubles the
+// sample sizes, so the total space is within a constant factor of the space
+// the final accepted run uses, and the number of passes is 6·O(log(mκ)).
+//
+// The returned Result is the accepted run's result with Passes replaced by
+// the cumulative pass count of the whole search.
+func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	counter := stream.NewPassCounter(src)
+	m, known := counter.Len()
+	if !known {
+		var err error
+		m, err = stream.CountEdges(counter)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if m == 0 {
+		return Result{EdgesInStream: 0, Passes: counter.Passes()}, nil
+	}
+
+	guess := int64(2) * int64(m) * int64(cfg.Kappa)
+	if guess < 1 {
+		guess = 1
+	}
+	var last Result
+	attempt := 0
+	for {
+		runCfg := cfg
+		runCfg.TGuess = guess
+		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37
+		res, err := EstimateTriangles(counter, runCfg)
+		if err != nil {
+			return res, fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
+		}
+		attempt++
+		last = res
+		if res.Aborted {
+			last.Passes = counter.Passes()
+			return last, nil
+		}
+		if res.Estimate >= float64(guess) || guess == 1 {
+			break
+		}
+		guess /= 2
+		if guess < 1 {
+			guess = 1
+		}
+	}
+
+	// Confirmation run: the probing loop accepts a run conditioned on its
+	// estimate exceeding the guess, which biases the accepted value upward
+	// when the guess sits just above T. Re-running once with the guess set
+	// from the accepted estimate (and a fresh seed) removes that selection
+	// bias while staying within a constant factor of the accepted run's
+	// space.
+	if last.Estimate > 0 {
+		confirmGuess := int64(last.Estimate / 2)
+		if confirmGuess < 1 {
+			confirmGuess = 1
+		}
+		runCfg := cfg
+		runCfg.TGuess = confirmGuess
+		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37 + 0x51ed
+		res, err := EstimateTriangles(counter, runCfg)
+		if err != nil {
+			return res, fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err)
+		}
+		if !res.Aborted {
+			last = res
+		}
+	}
+	last.Passes = counter.Passes()
+	return last, nil
+}

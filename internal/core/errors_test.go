@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// failingStream delivers a few edges and then fails, to exercise the error
+// propagation paths of every pass.
+type failingStream struct {
+	edges     []graph.Edge
+	failAfter int
+	resets    int
+	failReset bool
+	pos       int
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failingStream) Reset() error {
+	f.resets++
+	if f.failReset {
+		return errBoom
+	}
+	f.pos = 0
+	return nil
+}
+
+func (f *failingStream) Next() (graph.Edge, error) {
+	if f.pos >= f.failAfter {
+		return graph.Edge{}, errBoom
+	}
+	if f.pos >= len(f.edges) {
+		return graph.Edge{}, stream.ErrEndOfPass
+	}
+	e := f.edges[f.pos]
+	f.pos++
+	return e, nil
+}
+
+func (f *failingStream) Len() (int, bool) { return len(f.edges), true }
+
+func TestEstimatorPropagatesStreamErrors(t *testing.T) {
+	g := gen.Wheel(50)
+	edges := make([]graph.Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	cfg := DefaultConfig(0.2, 3, 49)
+
+	// Fail mid-pass: every pass index should surface the error rather than
+	// silently returning a bogus estimate.
+	for _, failAfter := range []int{3, 40} {
+		fs := &failingStream{edges: edges, failAfter: failAfter}
+		if _, err := EstimateTriangles(fs, cfg); err == nil {
+			t.Errorf("failAfter=%d: expected an error", failAfter)
+		}
+	}
+	// Fail on Reset.
+	fs := &failingStream{edges: edges, failAfter: len(edges), failReset: true}
+	if _, err := EstimateTriangles(fs, cfg); err == nil {
+		t.Error("expected a reset error")
+	}
+}
+
+func TestIdealEstimatorPropagatesStreamErrors(t *testing.T) {
+	g := gen.Wheel(50)
+	edges := make([]graph.Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	cfg := DefaultConfig(0.2, 3, 49)
+	fs := &failingStream{edges: edges, failAfter: 10}
+	if _, err := IdealEstimator(fs, NewGraphOracle(g), cfg, 5); err == nil {
+		t.Error("expected an error from a failing stream")
+	}
+}
+
+func TestAutoEstimatePropagatesStreamErrors(t *testing.T) {
+	g := gen.Wheel(50)
+	edges := make([]graph.Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	cfg := DefaultConfig(0.2, 3, 1)
+	fs := &failingStream{edges: edges, failAfter: 10}
+	if _, err := AutoEstimate(fs, cfg); err == nil {
+		t.Error("expected an error from a failing stream")
+	}
+}
+
+func TestEstimatorTruncatedStreamDetected(t *testing.T) {
+	// A stream that claims more edges than it delivers is a malformed input;
+	// the sampler must notice instead of hanging or mis-sampling.
+	g := gen.Wheel(30)
+	edges := make([]graph.Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	short := &truncatedStream{edges: edges[:10], claimed: len(edges)}
+	cfg := DefaultConfig(0.2, 3, 29)
+	if _, err := EstimateTriangles(short, cfg); err == nil {
+		t.Error("expected an error for a truncated stream")
+	}
+}
+
+type truncatedStream struct {
+	edges   []graph.Edge
+	claimed int
+	pos     int
+}
+
+func (s *truncatedStream) Reset() error { s.pos = 0; return nil }
+func (s *truncatedStream) Next() (graph.Edge, error) {
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, stream.ErrEndOfPass
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+func (s *truncatedStream) Len() (int, bool) { return s.claimed, true }
+
+func TestLessEdge(t *testing.T) {
+	a := graph.NewEdge(1, 2)
+	b := graph.NewEdge(1, 3)
+	c := graph.NewEdge(2, 3)
+	if !lessEdge(a, b) || lessEdge(b, a) {
+		t.Error("lexicographic comparison broken on second coordinate")
+	}
+	if !lessEdge(b, c) || lessEdge(c, b) {
+		t.Error("lexicographic comparison broken on first coordinate")
+	}
+	if !lessEdge(a, graph.Edge{U: -1, V: -1}) {
+		t.Error("anything is less than the sentinel")
+	}
+}

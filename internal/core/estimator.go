@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// instance is the state of one of the ℓ degree-proportional estimator
+// instances of Algorithm 2.
+type instance struct {
+	edge   graph.Edge
+	edgeDeg int
+	light  int
+	other  int
+	// Pass 3 state: a size-1 reservoir over the neighbors of the light
+	// endpoint.
+	seen int64
+	w    int
+	hasW bool
+	// Pass 4 outcome.
+	closed bool
+	tri    graph.Triangle
+	// Final outcome after the assignment filter.
+	y bool
+}
+
+// Estimator runs the main six-pass algorithm (Algorithm 2 + Algorithm 3) on
+// an edge stream. Create one with NewEstimator and call Run; an Estimator is
+// single-use.
+type Estimator struct {
+	cfg   Config
+	rng   *sampling.RNG
+	meter *stream.SpaceMeter
+}
+
+// NewEstimator returns an estimator for the given configuration. The
+// configuration is validated on Run.
+func NewEstimator(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg, rng: sampling.NewRNG(cfg.Seed), meter: stream.NewSpaceMeter()}
+}
+
+// EstimateTriangles is a convenience wrapper: NewEstimator(cfg).Run(src).
+func EstimateTriangles(src stream.Stream, cfg Config) (Result, error) {
+	return NewEstimator(cfg).Run(src)
+}
+
+// Run executes the estimator against the stream and returns the estimate and
+// resource accounting. The stream must replay the same edge order on every
+// pass (all stream.Stream implementations in this repository do).
+func (est *Estimator) Run(src stream.Stream) (Result, error) {
+	cfg := est.cfg
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	counter := stream.NewPassCounter(src)
+	res := Result{}
+
+	// Discover m. If the source knows its length this is free; otherwise it
+	// costs one counting pass (the paper assumes m is known when setting
+	// parameters).
+	m, known := counter.Len()
+	if !known {
+		var err error
+		m, err = stream.CountEdges(counter)
+		if err != nil {
+			return res, err
+		}
+	}
+	res.EdgesInStream = m
+	if m == 0 {
+		res.Passes = counter.Passes()
+		return res, nil
+	}
+
+	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
+	r := cfg.sampleSizeR(m)
+	res.SampledEdges = r
+	R, err := est.sampleUniformEdges(counter, m, r)
+	if err != nil {
+		return res, err
+	}
+	est.meter.Charge(int64(len(R)) * stream.WordsPerEdge)
+	if est.overBudget() {
+		res.Aborted = true
+		res.Passes = counter.Passes()
+		res.SpaceWords = est.meter.Peak()
+		return res, nil
+	}
+
+	// ----- Pass 2: degrees of the endpoints of R. -----
+	vertexDeg := make(map[int]int)
+	for _, e := range R {
+		vertexDeg[e.U] = 0
+		vertexDeg[e.V] = 0
+	}
+	est.meter.Charge(int64(len(vertexDeg)) * stream.WordsPerCounter)
+	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if _, ok := vertexDeg[e.U]; ok {
+			vertexDeg[e.U]++
+		}
+		if _, ok := vertexDeg[e.V]; ok {
+			vertexDeg[e.V]++
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	edgeDegs := make([]int64, len(R))
+	var dR int64
+	for i, e := range R {
+		de := vertexDeg[e.U]
+		if vertexDeg[e.V] < de {
+			de = vertexDeg[e.V]
+		}
+		edgeDegs[i] = int64(de)
+		dR += int64(de)
+	}
+	res.DR = dR
+	if dR == 0 {
+		// No sampled edge has a neighbor beyond itself; the estimate is 0.
+		res.Passes = counter.Passes()
+		res.SpaceWords = est.meter.Peak()
+		return res, nil
+	}
+
+	// ----- Draw ℓ instances from R proportional to d_e. -----
+	l := cfg.sampleSizeL(m, r, dR)
+	res.Instances = l
+	cum, err := sampling.NewCumulativeSampler(edgeDegs)
+	if err != nil {
+		return res, err
+	}
+	instances := make([]*instance, l)
+	lightIndex := make(map[int][]*instance)
+	for i := 0; i < l; i++ {
+		idx := cum.Sample(est.rng)
+		e := R[idx]
+		inst := &instance{edge: e, edgeDeg: int(edgeDegs[idx])}
+		if vertexDeg[e.U] <= vertexDeg[e.V] {
+			inst.light, inst.other = e.U, e.V
+		} else {
+			inst.light, inst.other = e.V, e.U
+		}
+		instances[i] = inst
+		lightIndex[inst.light] = append(lightIndex[inst.light], inst)
+	}
+	est.meter.Charge(int64(l) * 6 * stream.WordsPerScalar)
+	if est.overBudget() {
+		res.Aborted = true
+		res.Passes = counter.Passes()
+		res.SpaceWords = est.meter.Peak()
+		return res, nil
+	}
+
+	// ----- Pass 3: uniform neighbor of the light endpoint, per instance. -----
+	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if insts, ok := lightIndex[e.U]; ok {
+			for _, inst := range insts {
+				inst.offerNeighbor(e.V, est.rng)
+			}
+		}
+		if insts, ok := lightIndex[e.V]; ok {
+			for _, inst := range insts {
+				inst.offerNeighbor(e.U, est.rng)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	// ----- Pass 4: closure checks and apex degrees. -----
+	closure := make(map[graph.Edge][]*instance)
+	apexDeg := make(map[int]int)
+	for _, inst := range instances {
+		if !inst.hasW || inst.w == inst.other {
+			inst.hasW = false
+			continue
+		}
+		key := graph.NewEdge(inst.other, inst.w)
+		closure[key] = append(closure[key], inst)
+		apexDeg[inst.w] = 0
+	}
+	est.meter.Charge(int64(len(closure))*(stream.WordsPerEdge+stream.WordsPerScalar) +
+		int64(len(apexDeg))*stream.WordsPerCounter)
+	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
+		if insts, ok := closure[e.Normalize()]; ok {
+			for _, inst := range insts {
+				inst.closed = true
+			}
+		}
+		if _, ok := apexDeg[e.U]; ok {
+			apexDeg[e.U]++
+		}
+		if _, ok := apexDeg[e.V]; ok {
+			apexDeg[e.V]++
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	// Collect the discovered triangles.
+	for _, inst := range instances {
+		if inst.closed {
+			inst.tri = graph.NewTriangle(inst.edge.U, inst.edge.V, inst.w)
+			res.TrianglesFound++
+		}
+	}
+
+	// Degree lookup covering both R endpoints and apex vertices.
+	degreeOf := func(v int) (int, bool) {
+		if d, ok := vertexDeg[v]; ok {
+			return d, true
+		}
+		if d, ok := apexDeg[v]; ok {
+			return d, true
+		}
+		return 0, false
+	}
+
+	// ----- Assignment (Algorithm 3): passes 5 and 6 for the paper's rule. -----
+	assignments, aerr := est.assign(counter, &res, instances, degreeOf, m)
+	if aerr != nil {
+		return res, aerr
+	}
+	if res.Aborted {
+		res.Passes = counter.Passes()
+		res.SpaceWords = est.meter.Peak()
+		return res, nil
+	}
+
+	// ----- Final estimate. -----
+	values := make([]float64, len(instances))
+	for i, inst := range instances {
+		y := 0.0
+		if inst.closed {
+			switch cfg.Rule {
+			case RuleNone:
+				inst.y = true
+			default:
+				assignedTo, ok := assignments[inst.tri]
+				inst.y = ok && assignedTo == inst.edge.Normalize()
+			}
+			if inst.y {
+				res.TrianglesAssigned++
+				y = 1
+			}
+		}
+		values[i] = y
+	}
+	meanY := sampling.MedianOfMeans(values, cfg.Groups)
+	estimate := float64(m) / float64(r) * float64(dR) * meanY
+	if cfg.Rule == RuleNone {
+		estimate /= 3
+	}
+	res.Estimate = estimate
+	res.Passes = counter.Passes()
+	res.SpaceWords = est.meter.Peak()
+	return res, nil
+}
+
+// offerNeighbor implements the per-instance size-1 reservoir of pass 3.
+func (inst *instance) offerNeighbor(v int, rng *sampling.RNG) {
+	inst.seen++
+	if rng.Int63n(inst.seen) == 0 {
+		inst.w = v
+		inst.hasW = true
+	}
+}
+
+// sampleUniformEdges draws r edges uniformly at random with replacement from
+// the stream, using one pass: it pre-draws r uniform positions in [0, m),
+// sorts them, and collects the edges at those positions.
+func (est *Estimator) sampleUniformEdges(src stream.Stream, m, r int) ([]graph.Edge, error) {
+	positions := make([]int, r)
+	for i := range positions {
+		positions[i] = est.rng.Intn(m)
+	}
+	sort.Ints(positions)
+	sample := make([]graph.Edge, r)
+
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	pos := 0
+	next := 0
+	for next < r {
+		e, err := src.Next()
+		if err == stream.ErrEndOfPass {
+			return nil, fmt.Errorf("core: stream ended at %d edges, expected %d", pos, m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for next < r && positions[next] == pos {
+			sample[next] = e.Normalize()
+			next++
+		}
+		pos++
+	}
+	// Drain the rest of the pass so that pass accounting stays honest (a pass
+	// is a full scan in the streaming model).
+	for {
+		_, err := src.Next()
+		if err == stream.ErrEndOfPass {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sample, nil
+}
+
+func (est *Estimator) overBudget() bool {
+	return est.cfg.MaxSpaceWords > 0 && est.meter.Current() > est.cfg.MaxSpaceWords
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// estimateRelErr runs the six-pass estimator `trials` times with different
+// seeds and returns the relative error of the mean estimate, which is the
+// quantity the accuracy tests bound. Averaging over trials keeps the test
+// budget small while still detecting bias or broken scaling.
+func estimateRelErr(t *testing.T, g *graph.Graph, cfg Config, trials int) float64 {
+	t.Helper()
+	truth := float64(g.TriangleCount())
+	var sum float64
+	for i := 0; i < trials; i++ {
+		cfg.Seed = uint64(1000 + 7919*i)
+		src := stream.FromGraphShuffled(g, uint64(i+1))
+		res, err := EstimateTriangles(src, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		sum += res.Estimate
+	}
+	return sampling.RelativeError(sum/float64(trials), truth)
+}
+
+func TestEstimatorEmptyStream(t *testing.T) {
+	cfg := DefaultConfig(0.2, 1, 1)
+	res, err := EstimateTriangles(stream.FromEdges(nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || res.EdgesInStream != 0 {
+		t.Fatalf("empty stream result %+v", res)
+	}
+}
+
+func TestEstimatorInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig(0.2, 1, 1)
+	cfg.Epsilon = 0
+	if _, err := EstimateTriangles(stream.FromEdges(nil), cfg); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestEstimatorTriangleFreeGraph(t *testing.T) {
+	g := gen.Grid(20, 20)
+	cfg := DefaultConfig(0.2, 2, 10)
+	cfg.Seed = 5
+	res, err := EstimateTriangles(stream.FromGraphShuffled(g, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 {
+		t.Fatalf("triangle-free graph estimated %v triangles", res.Estimate)
+	}
+	if res.TrianglesFound != 0 {
+		t.Fatalf("found %d triangles in a triangle-free graph", res.TrianglesFound)
+	}
+}
+
+func TestEstimatorSixPasses(t *testing.T) {
+	// With the paper's assignment rule and triangles present, the run should
+	// take exactly 6 passes over a known-length stream.
+	g := gen.Wheel(200)
+	cfg := DefaultConfig(0.25, 3, int64(g.TriangleCount()))
+	cfg.CR, cfg.CL, cfg.CS = 8, 8, 8
+	res, err := EstimateTriangles(stream.FromGraphShuffled(g, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrianglesFound == 0 {
+		t.Fatal("expected to find at least one triangle")
+	}
+	if res.Passes != 6 {
+		t.Fatalf("passes = %d, want 6", res.Passes)
+	}
+	if res.SpaceWords <= 0 {
+		t.Fatal("space accounting missing")
+	}
+}
+
+func TestEstimatorFourPassesWithoutAssignment(t *testing.T) {
+	g := gen.Wheel(200)
+	cfg := DefaultConfig(0.25, 3, int64(g.TriangleCount()))
+	cfg.Rule = RuleNone
+	res, err := EstimateTriangles(stream.FromGraphShuffled(g, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample pass + degree pass + neighbor pass + closure pass; RuleNone
+	// needs no assignment passes and the known-length stream avoids the
+	// counting pass.
+	if res.Passes != 4 {
+		t.Fatalf("passes = %d, want 4", res.Passes)
+	}
+}
+
+func TestEstimatorAccuracyWheel(t *testing.T) {
+	g := gen.Wheel(2000)
+	cfg := DefaultConfig(0.2, 3, g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 10, 10, 10
+	rel := estimateRelErr(t, g, cfg, 16)
+	if rel > 0.2 {
+		t.Fatalf("wheel relative error %.3f > 0.2", rel)
+	}
+}
+
+func TestEstimatorAccuracyBarabasiAlbert(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 4, 17)
+	cfg := DefaultConfig(0.1, 4, g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 12, 12, 8
+	rel := estimateRelErr(t, g, cfg, 14)
+	if rel > 0.35 {
+		t.Fatalf("BA relative error %.3f > 0.35", rel)
+	}
+}
+
+func TestEstimatorAccuracyHolmeKim(t *testing.T) {
+	// The clustered preferential-attachment family is the paper's target
+	// regime (κ = k, T = Θ(n)); the estimator should be comfortably accurate.
+	g := gen.HolmeKim(4000, 4, 0.7, 17)
+	cfg := DefaultConfig(0.1, 4, g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 10, 10, 8
+	rel := estimateRelErr(t, g, cfg, 12)
+	if rel > 0.2 {
+		t.Fatalf("Holme–Kim relative error %.3f > 0.2", rel)
+	}
+}
+
+func TestEstimatorAccuracyBookGraph(t *testing.T) {
+	// The book graph is the paper's variance nightmare for incidence
+	// counting; with the assignment rule the estimator should still work.
+	g := gen.Book(2000)
+	cfg := DefaultConfig(0.2, 2, g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 8, 8, 8
+	rel := estimateRelErr(t, g, cfg, 12)
+	if rel > 0.3 {
+		t.Fatalf("book relative error %.3f > 0.3", rel)
+	}
+}
+
+func TestEstimatorAccuracyCompleteGraph(t *testing.T) {
+	g := gen.Complete(60)
+	cfg := DefaultConfig(0.2, 59, g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 4, 4, 4
+	rel := estimateRelErr(t, g, cfg, 10)
+	if rel > 0.25 {
+		t.Fatalf("K60 relative error %.3f > 0.25", rel)
+	}
+}
+
+func TestEstimatorRuleNoneUnbiasedOnWheel(t *testing.T) {
+	g := gen.Wheel(1000)
+	cfg := DefaultConfig(0.2, 3, g.TriangleCount())
+	cfg.Rule = RuleNone
+	cfg.CR, cfg.CL = 8, 8
+	rel := estimateRelErr(t, g, cfg, 12)
+	if rel > 0.25 {
+		t.Fatalf("rule-none relative error %.3f > 0.25", rel)
+	}
+}
+
+func TestEstimatorRuleLowestDegree(t *testing.T) {
+	g := gen.Wheel(1000)
+	cfg := DefaultConfig(0.2, 3, g.TriangleCount())
+	cfg.Rule = RuleLowestDegree
+	cfg.CR, cfg.CL = 8, 8
+	rel := estimateRelErr(t, g, cfg, 12)
+	if rel > 0.25 {
+		t.Fatalf("lowest-degree relative error %.3f > 0.25", rel)
+	}
+}
+
+func TestEstimatorSpaceScalesWithBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 5)
+	small := DefaultConfig(0.2, 3, g.TriangleCount())
+	small.ROverride, small.LOverride, small.SOverride = 10, 10, 5
+	large := small
+	large.ROverride, large.LOverride, large.SOverride = 1000, 1000, 50
+
+	resSmall, err := EstimateTriangles(stream.FromGraphShuffled(g, 2), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLarge, err := EstimateTriangles(stream.FromGraphShuffled(g, 2), large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLarge.SpaceWords <= resSmall.SpaceWords {
+		t.Fatalf("space did not grow with budget: %d vs %d", resSmall.SpaceWords, resLarge.SpaceWords)
+	}
+	if resSmall.SampledEdges != 10 || resLarge.SampledEdges != 1000 {
+		t.Fatalf("overrides ignored: %d, %d", resSmall.SampledEdges, resLarge.SampledEdges)
+	}
+}
+
+func TestEstimatorMaxSpaceAborts(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 5)
+	cfg := DefaultConfig(0.2, 3, 10) // absurdly small T guess -> huge samples
+	cfg.MaxSpaceWords = 100
+	res, err := EstimateTriangles(stream.FromGraphShuffled(g, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("expected the run to abort on the space cutoff")
+	}
+}
+
+func TestEstimatorDeterministicForFixedSeed(t *testing.T) {
+	g := gen.Wheel(500)
+	cfg := DefaultConfig(0.2, 3, g.TriangleCount())
+	cfg.Seed = 99
+	src := stream.FromGraphShuffled(g, 7)
+	a, err := EstimateTriangles(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateTriangles(stream.FromGraphShuffled(g, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate || a.SpaceWords != b.SpaceWords {
+		t.Fatalf("same seed gave different results: %v vs %v", a, b)
+	}
+}
+
+func TestEstimatorGroupsMedianOfMeans(t *testing.T) {
+	g := gen.Wheel(1000)
+	cfg := DefaultConfig(0.2, 3, g.TriangleCount())
+	cfg.Groups = 5
+	// Median-of-means needs each group mean to concentrate, so the number of
+	// instances per group must be large; use a generous ℓ multiplier.
+	cfg.CR, cfg.CL, cfg.CS = 8, 60, 8
+	rel := estimateRelErr(t, g, cfg, 10)
+	if rel > 0.3 {
+		t.Fatalf("median-of-means relative error %.3f", rel)
+	}
+}
+
+func TestEstimatorAssignedNeverExceedsFound(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 4, 3)
+	cfg := DefaultConfig(0.2, 4, g.TriangleCount())
+	res, err := EstimateTriangles(stream.FromGraphShuffled(g, 9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrianglesAssigned > res.TrianglesFound {
+		t.Fatalf("assigned %d > found %d", res.TrianglesAssigned, res.TrianglesFound)
+	}
+	if res.DistinctTriangles > res.TrianglesFound {
+		t.Fatalf("distinct %d > found %d", res.DistinctTriangles, res.TrianglesFound)
+	}
+}
+
+func TestEstimatorHandlesUnknownLength(t *testing.T) {
+	// A stream that hides its length forces an extra counting pass.
+	g := gen.Wheel(300)
+	src := &hiddenLengthStream{inner: stream.FromGraphShuffled(g, 4)}
+	cfg := DefaultConfig(0.25, 3, g.TriangleCount())
+	res, err := EstimateTriangles(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesInStream != g.NumEdges() {
+		t.Fatalf("m = %d, want %d", res.EdgesInStream, g.NumEdges())
+	}
+	if res.Passes < 6 {
+		t.Fatalf("expected at least 6 passes with a counting pass, got %d", res.Passes)
+	}
+}
+
+// hiddenLengthStream wraps a stream but pretends not to know its length.
+type hiddenLengthStream struct {
+	inner stream.Stream
+}
+
+func (h *hiddenLengthStream) Reset() error             { return h.inner.Reset() }
+func (h *hiddenLengthStream) Next() (graph.Edge, error) { return h.inner.Next() }
+func (h *hiddenLengthStream) Len() (int, bool)          { return 0, false }
+
+func TestEstimatorBookAblationVariance(t *testing.T) {
+	// §1.2: on the book graph, counting incident triangles (RuleNone) from a
+	// small uniform edge sample has huge variance because one edge carries
+	// every triangle. The paper's assignment rule fixes this. We compare the
+	// spread of estimates at identical budgets.
+	g := gen.Book(3000)
+	truth := float64(g.TriangleCount())
+	budgetR, budgetL, budgetS := 100, 200, 40
+
+	spread := func(rule AssignmentRule) float64 {
+		var errs []float64
+		for i := 0; i < 30; i++ {
+			cfg := DefaultConfig(0.2, 2, g.TriangleCount())
+			cfg.Rule = rule
+			cfg.ROverride, cfg.LOverride, cfg.SOverride = budgetR, budgetL, budgetS
+			cfg.Seed = uint64(31 + i*101)
+			res, err := EstimateTriangles(stream.FromGraphShuffled(g, uint64(i+1)), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs = append(errs, sampling.RelativeError(res.Estimate, truth))
+		}
+		return sampling.Median(errs)
+	}
+
+	withRule := spread(RuleLowestCount)
+	without := spread(RuleNone)
+	if !(withRule < without) {
+		t.Fatalf("assignment rule did not reduce error on the book graph: with=%.3f without=%.3f", withRule, without)
+	}
+	if math.IsNaN(withRule) {
+		t.Fatal("NaN error")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// Result is the outcome of one estimator run together with its resource
+// accounting, which is what the experiment tables report.
+type Result struct {
+	// Estimate is the estimated triangle count T̂.
+	Estimate float64
+	// Passes is the number of stream passes the run performed.
+	Passes int
+	// SpaceWords is the peak number of retained machine words, as charged to
+	// the estimator's SpaceMeter (sampled edges, counters, reservoirs, memo
+	// entries).
+	SpaceWords int64
+	// OracleQueries counts degree-oracle queries (only nonzero for the
+	// degree-oracle estimators of Section 4).
+	OracleQueries int64
+	// EdgesInStream is m, discovered or confirmed during the run.
+	EdgesInStream int
+	// SampledEdges is r, the size of the uniform edge sample R (Algorithm 2).
+	SampledEdges int
+	// Instances is ℓ, the number of degree-proportional estimator instances.
+	Instances int
+	// AssignmentSamples is s, the per-edge neighborhood sample size used by
+	// the assignment procedure.
+	AssignmentSamples int
+	// TrianglesFound is the number of estimator instances whose edge–vertex
+	// pair closed into a triangle (before the assignment filter).
+	TrianglesFound int
+	// TrianglesAssigned is the number of instances whose triangle was
+	// assigned to the instance's own edge (these contribute Y_i = 1).
+	TrianglesAssigned int
+	// DistinctTriangles is the number of distinct triangles on which the
+	// assignment procedure was invoked.
+	DistinctTriangles int
+	// DR is d_R = Σ_{e∈R} d_e observed in pass 2.
+	DR int64
+	// Aborted reports that the run hit Config.MaxSpaceWords and stopped
+	// early; Estimate is then meaningless.
+	Aborted bool
+}
+
+// String summarizes the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("T̂=%.1f (passes=%d, space=%d words, r=%d, ℓ=%d, s=%d, found=%d, assigned=%d)",
+		r.Estimate, r.Passes, r.SpaceWords, r.SampledEdges, r.Instances, r.AssignmentSamples,
+		r.TrianglesFound, r.TrianglesAssigned)
+}

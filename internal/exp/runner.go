@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"degentri/internal/core"
+	"degentri/internal/sampling"
+)
+
+// TrialStats aggregates the outcomes of repeated runs of one estimator on one
+// workload.
+type TrialStats struct {
+	Trials        int
+	Truth         float64
+	MeanEstimate  float64
+	MedianRelErr  float64
+	MeanRelErr    float64
+	P90RelErr     float64
+	MeanSpace     float64
+	MaxSpace      int64
+	Passes        int
+	MeanEstimateRelErr float64
+}
+
+// Runner produces one estimator result per trial.
+type Runner func(trial int) (core.Result, error)
+
+// RunTrials executes the runner the given number of times and aggregates
+// relative errors and space usage against the known ground truth.
+func RunTrials(run Runner, trials int, truth float64) (TrialStats, error) {
+	if trials < 1 {
+		return TrialStats{}, fmt.Errorf("exp: trials must be positive")
+	}
+	stats := TrialStats{Trials: trials, Truth: truth}
+	var relErrs []float64
+	var estimates []float64
+	for i := 0; i < trials; i++ {
+		res, err := run(i)
+		if err != nil {
+			return stats, fmt.Errorf("exp: trial %d: %w", i, err)
+		}
+		relErrs = append(relErrs, sampling.RelativeError(res.Estimate, truth))
+		estimates = append(estimates, res.Estimate)
+		stats.MeanSpace += float64(res.SpaceWords)
+		if res.SpaceWords > stats.MaxSpace {
+			stats.MaxSpace = res.SpaceWords
+		}
+		stats.Passes = res.Passes
+	}
+	stats.MeanEstimate = sampling.Mean(estimates)
+	stats.MedianRelErr = sampling.Median(relErrs)
+	stats.MeanRelErr = sampling.Mean(relErrs)
+	stats.P90RelErr = sampling.Quantile(relErrs, 0.9)
+	stats.MeanSpace /= float64(trials)
+	stats.MeanEstimateRelErr = sampling.RelativeError(stats.MeanEstimate, truth)
+	return stats, nil
+}
+
+// CoreRunner builds a Runner for the paper's six-pass estimator on a
+// workload, using the exact κ and T of the workload for parameter setting
+// (the controlled setting used by most experiments) and varying seeds per
+// trial.
+func CoreRunner(w Workload, cfg core.Config) Runner {
+	return func(trial int) (core.Result, error) {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(trial)*7919
+		return core.EstimateTriangles(w.Stream(trial), runCfg)
+	}
+}
+
+// DefaultCoreConfig returns the estimator configuration used by the
+// comparison experiments for a workload: exact κ and T, modest constants.
+func DefaultCoreConfig(w Workload, epsilon float64) core.Config {
+	t := w.T
+	if t < 1 {
+		t = 1
+	}
+	kappa := w.Kappa
+	if kappa < 1 {
+		kappa = 1
+	}
+	cfg := core.DefaultConfig(epsilon, kappa, t)
+	cfg.CR, cfg.CL, cfg.CS = 16, 16, 8
+	cfg.Seed = 1
+	return cfg
+}

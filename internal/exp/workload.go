@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// Scale selects how large the experiment workloads are. Smoke keeps every
+// experiment in the low milliseconds for tests; Default is what the benches
+// and cmd/experiments run; Full is the laptop-scale configuration recorded in
+// EXPERIMENTS.md.
+type Scale int
+
+const (
+	ScaleSmoke Scale = iota
+	ScaleDefault
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmoke:
+		return "smoke"
+	case ScaleDefault:
+		return "default"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// pick returns a size appropriate for the scale.
+func (s Scale) pick(smoke, def, full int) int {
+	switch s {
+	case ScaleSmoke:
+		return smoke
+	case ScaleFull:
+		return full
+	default:
+		return def
+	}
+}
+
+// Workload is one benchmark graph with its ground truth precomputed.
+type Workload struct {
+	Name       string
+	Graph      *graph.Graph
+	M          int
+	N          int
+	T          int64
+	Kappa      int
+	MaxDegree  int
+	StreamSeed uint64
+}
+
+// NewWorkload computes the ground truth of a generated graph.
+func NewWorkload(name string, g *graph.Graph, streamSeed uint64) Workload {
+	return Workload{
+		Name:       name,
+		Graph:      g,
+		M:          g.NumEdges(),
+		N:          g.NumVertices(),
+		T:          g.TriangleCount(),
+		Kappa:      g.Degeneracy(),
+		MaxDegree:  g.MaxDegree(),
+		StreamSeed: streamSeed,
+	}
+}
+
+// Stream returns a fresh arbitrary-order stream over the workload. Trial
+// indices vary the order so repeated trials see different stream orders, as
+// the arbitrary-order model intends.
+func (w Workload) Stream(trial int) stream.Stream {
+	return stream.FromGraphShuffled(w.Graph, w.StreamSeed+uint64(trial)*0x9e3779b9)
+}
+
+// TheoreticalBound returns m·κ/T, the paper's space bound (up to polylog
+// factors), as a float; +Inf for triangle-free workloads.
+func (w Workload) TheoreticalBound() float64 {
+	if w.T == 0 {
+		return float64(w.M) * float64(w.Kappa)
+	}
+	return float64(w.M) * float64(w.Kappa) / float64(w.T)
+}
+
+// StandardWorkloads returns the mixed suite used by the comparison
+// experiments: low-degeneracy/high-triangle graphs (the paper's target
+// regime) across several families.
+func StandardWorkloads(scale Scale) []Workload {
+	n := scale.pick(800, 8000, 60000)
+	ba := scale.pick(1000, 10000, 80000)
+	cl := scale.pick(1500, 12000, 80000)
+	return []Workload{
+		NewWorkload("wheel", gen.Wheel(n), 11),
+		NewWorkload("apollonian", gen.Apollonian(n), 12),
+		NewWorkload("triangular-grid", gen.TriangularGrid(isqrt(n), isqrt(n)), 13),
+		NewWorkload("pref-attach-k4", gen.HolmeKim(ba, 4, 0.7, 101), 14),
+		NewWorkload("pref-attach-k8", gen.HolmeKim(ba, 8, 0.7, 102), 15),
+		NewWorkload("chung-lu-2.5", gen.ChungLu(cl, 8, 2.5, 103), 16),
+	}
+}
+
+// WheelWorkloads returns wheel graphs of increasing size (experiment E3).
+func WheelWorkloads(scale Scale) []Workload {
+	sizes := map[Scale][]int{
+		ScaleSmoke:   {100, 400, 1600},
+		ScaleDefault: {1000, 4000, 16000, 64000},
+		ScaleFull:    {1000, 10000, 100000, 1000000},
+	}[scale]
+	var ws []Workload
+	for i, n := range sizes {
+		ws = append(ws, NewWorkload(fmt.Sprintf("wheel-%d", n), gen.Wheel(n), uint64(21+i)))
+	}
+	return ws
+}
+
+// KappaSweepWorkloads returns preferential-attachment graphs with fixed n and
+// increasing attachment parameter k ≈ κ (experiment E9).
+func KappaSweepWorkloads(scale Scale) []Workload {
+	n := scale.pick(1200, 8000, 40000)
+	ks := []int{2, 4, 8, 16, 32}
+	if scale == ScaleSmoke {
+		ks = []int{2, 4, 8}
+	}
+	var ws []Workload
+	for i, k := range ks {
+		ws = append(ws, NewWorkload(fmt.Sprintf("pa-k%d", k), gen.HolmeKim(n, k, 0.7, uint64(300+k)), uint64(31+i)))
+	}
+	return ws
+}
+
+// SkewedWorkloads returns graphs with a large gap between maximum degree and
+// degeneracy (experiment E10): stars plus planted triangles and book graphs.
+func SkewedWorkloads(scale Scale) []Workload {
+	leaves := scale.pick(2000, 20000, 200000)
+	tris := scale.pick(100, 1000, 10000)
+	pages := scale.pick(1000, 10000, 100000)
+	return []Workload{
+		NewWorkload("star+triangles", gen.StarPlusTriangles(leaves, tris), 41),
+		NewWorkload("book", gen.Book(pages), 42),
+		NewWorkload("planted-book", gen.PlantedBook(pages+2, 2*pages, pages/2, 43), 43),
+	}
+}
+
+func isqrt(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}

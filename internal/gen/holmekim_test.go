@@ -1,0 +1,70 @@
+package gen
+
+import "testing"
+
+func TestHolmeKimValidation(t *testing.T) {
+	assertPanics(t, func() { HolmeKim(3, 5, 0.5, 1) })
+	assertPanics(t, func() { HolmeKim(100, 0, 0.5, 1) })
+	assertPanics(t, func() { HolmeKim(100, 3, -0.1, 1) })
+	assertPanics(t, func() { HolmeKim(100, 3, 1.1, 1) })
+}
+
+func TestHolmeKimStructure(t *testing.T) {
+	n, k := 5000, 4
+	g := HolmeKim(n, k, 0.6, 7)
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex after the seed clique adds at most k edges.
+	maxEdges := k*(k+1)/2 + (n-k-1)*k
+	if g.NumEdges() > maxEdges {
+		t.Fatalf("m = %d exceeds %d", g.NumEdges(), maxEdges)
+	}
+	if got := g.Degeneracy(); got != k {
+		t.Fatalf("degeneracy = %d, want %d", got, k)
+	}
+	// Triad formation should produce Θ(n) triangles — far more than pure
+	// preferential attachment at this size.
+	if g.TriangleCount() < int64(n) {
+		t.Fatalf("T = %d, expected at least n = %d with triad formation", g.TriangleCount(), n)
+	}
+	ba := BarabasiAlbert(n, k, 7)
+	if g.TriangleCount() <= 2*ba.TriangleCount() {
+		t.Fatalf("Holme–Kim T=%d should far exceed BA T=%d", g.TriangleCount(), ba.TriangleCount())
+	}
+}
+
+func TestHolmeKimDeterministic(t *testing.T) {
+	a := HolmeKim(800, 3, 0.5, 11)
+	b := HolmeKim(800, 3, 0.5, 11)
+	if a.NumEdges() != b.NumEdges() || a.TriangleCount() != b.TriangleCount() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := HolmeKim(800, 3, 0.5, 12)
+	if a.TriangleCount() == c.TriangleCount() && a.NumEdges() == c.NumEdges() {
+		t.Log("different seeds produced identical summary statistics (possible but unlikely)")
+	}
+}
+
+func TestHolmeKimZeroTriadIsPlainPA(t *testing.T) {
+	g := HolmeKim(2000, 3, 0, 5)
+	if g.Degeneracy() != 3 {
+		t.Fatalf("degeneracy = %d", g.Degeneracy())
+	}
+	// With no triad formation the triangle count should be modest, like BA.
+	if g.TriangleCount() > int64(g.NumVertices()) {
+		t.Fatalf("unexpectedly many triangles without triad formation: %d", g.TriangleCount())
+	}
+}
+
+func TestHolmeKimTriadProbabilityMonotone(t *testing.T) {
+	low := HolmeKim(3000, 4, 0.2, 9)
+	high := HolmeKim(3000, 4, 0.9, 9)
+	if high.TriangleCount() <= low.TriangleCount() {
+		t.Fatalf("triangles should increase with triad probability: %d vs %d",
+			low.TriangleCount(), high.TriangleCount())
+	}
+}

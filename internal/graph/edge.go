@@ -1,0 +1,131 @@
+// Package graph provides the in-memory graph substrate used throughout the
+// reproduction: CSR adjacency, degree and degeneracy (core) decomposition,
+// and exact triangle counting in the style of Chiba–Nishizeki.
+//
+// Graphs are simple and undirected. Vertices are dense integers in [0, n).
+// The package is the ground-truth engine for the streaming estimators: every
+// experiment compares a streaming estimate against graph.Graph's exact counts.
+package graph
+
+import "fmt"
+
+// Edge is an undirected edge between two vertices. Edges are stored in
+// normalized form (U <= V) by most of this package; callers should use
+// NewEdge or Normalize when constructing edges by hand.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns a normalized edge with the smaller endpoint first.
+func NewEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Normalize returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e; that is a programming error in the caller.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+	}
+}
+
+// Has reports whether v is an endpoint of e.
+func (e Edge) Has(v int) bool {
+	return e.U == v || e.V == v
+}
+
+// IsLoop reports whether the edge is a self loop.
+func (e Edge) IsLoop() bool {
+	return e.U == e.V
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%d)", e.U, e.V)
+}
+
+// Triangle is an unordered vertex triple. It is stored in sorted order
+// (A < B < C) when produced by NewTriangle.
+type Triangle struct {
+	A, B, C int
+}
+
+// NewTriangle returns the triangle on the three given vertices with its
+// fields sorted increasingly. It panics if two vertices coincide.
+func NewTriangle(a, b, c int) Triangle {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if a == b || b == c {
+		panic(fmt.Sprintf("graph: degenerate triangle (%d,%d,%d)", a, b, c))
+	}
+	return Triangle{A: a, B: b, C: c}
+}
+
+// Edges returns the three edges of the triangle in normalized form.
+func (t Triangle) Edges() [3]Edge {
+	return [3]Edge{
+		NewEdge(t.A, t.B),
+		NewEdge(t.A, t.C),
+		NewEdge(t.B, t.C),
+	}
+}
+
+// HasVertex reports whether v is one of the triangle's vertices.
+func (t Triangle) HasVertex(v int) bool {
+	return t.A == v || t.B == v || t.C == v
+}
+
+// HasEdge reports whether e (in any orientation) is one of the triangle's edges.
+func (t Triangle) HasEdge(e Edge) bool {
+	e = e.Normalize()
+	for _, te := range t.Edges() {
+		if te == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Apex returns the vertex of the triangle not covered by edge e. It panics if
+// e is not an edge of the triangle.
+func (t Triangle) Apex(e Edge) int {
+	e = e.Normalize()
+	switch {
+	case NewEdge(t.A, t.B) == e:
+		return t.C
+	case NewEdge(t.A, t.C) == e:
+		return t.B
+	case NewEdge(t.B, t.C) == e:
+		return t.A
+	default:
+		panic(fmt.Sprintf("graph: edge %v is not part of triangle %v", e, t))
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Triangle) String() string {
+	return fmt.Sprintf("{%d,%d,%d}", t.A, t.B, t.C)
+}

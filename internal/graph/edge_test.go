@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	e := NewEdge(7, 3)
+	if e.U != 3 || e.V != 7 {
+		t.Fatalf("NewEdge(7,3) = %v, want (3,7)", e)
+	}
+	e = NewEdge(3, 7)
+	if e.U != 3 || e.V != 7 {
+		t.Fatalf("NewEdge(3,7) = %v, want (3,7)", e)
+	}
+}
+
+func TestEdgeNormalizeIdempotent(t *testing.T) {
+	f := func(u, v uint8) bool {
+		e := Edge{U: int(u), V: int(v)}
+		n1 := e.Normalize()
+		n2 := n1.Normalize()
+		return n1 == n2 && n1.U <= n1.V
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(2, 9)
+	if got := e.Other(2); got != 9 {
+		t.Errorf("Other(2) = %d, want 9", got)
+	}
+	if got := e.Other(9); got != 2 {
+		t.Errorf("Other(9) = %d, want 2", got)
+	}
+}
+
+func TestEdgeOtherPanicsOnNonEndpoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-endpoint")
+		}
+	}()
+	NewEdge(1, 2).Other(3)
+}
+
+func TestEdgeHasAndLoop(t *testing.T) {
+	e := NewEdge(4, 4)
+	if !e.IsLoop() {
+		t.Error("expected self loop")
+	}
+	e = NewEdge(1, 5)
+	if e.IsLoop() {
+		t.Error("unexpected self loop")
+	}
+	if !e.Has(1) || !e.Has(5) || e.Has(2) {
+		t.Errorf("Has misbehaves for %v", e)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if got := NewEdge(5, 2).String(); got != "(2,5)" {
+		t.Errorf("String = %q, want (2,5)", got)
+	}
+}
+
+func TestNewTriangleSorts(t *testing.T) {
+	cases := [][3]int{{1, 2, 3}, {3, 2, 1}, {2, 3, 1}, {3, 1, 2}}
+	for _, c := range cases {
+		tr := NewTriangle(c[0], c[1], c[2])
+		if tr.A != 1 || tr.B != 2 || tr.C != 3 {
+			t.Errorf("NewTriangle(%v) = %v, want {1,2,3}", c, tr)
+		}
+	}
+}
+
+func TestNewTrianglePanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for repeated vertex")
+		}
+	}()
+	NewTriangle(1, 1, 2)
+}
+
+func TestTriangleEdgesAndApex(t *testing.T) {
+	tr := NewTriangle(5, 1, 9)
+	edges := tr.Edges()
+	want := [3]Edge{NewEdge(1, 5), NewEdge(1, 9), NewEdge(5, 9)}
+	if edges != want {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for _, e := range edges {
+		apex := tr.Apex(e)
+		if e.Has(apex) {
+			t.Errorf("apex %d belongs to edge %v", apex, e)
+		}
+		if !tr.HasVertex(apex) {
+			t.Errorf("apex %d not in triangle %v", apex, tr)
+		}
+		if !tr.HasEdge(e) {
+			t.Errorf("HasEdge(%v) = false", e)
+		}
+	}
+	if tr.HasEdge(NewEdge(2, 3)) {
+		t.Error("HasEdge reported an unrelated edge")
+	}
+}
+
+func TestTriangleApexPanicsOnNonEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTriangle(1, 2, 3).Apex(NewEdge(4, 5))
+}
+
+func TestTriangleHasVertex(t *testing.T) {
+	tr := NewTriangle(0, 7, 4)
+	for _, v := range []int{0, 4, 7} {
+		if !tr.HasVertex(v) {
+			t.Errorf("HasVertex(%d) = false", v)
+		}
+	}
+	if tr.HasVertex(5) {
+		t.Error("HasVertex(5) = true")
+	}
+}

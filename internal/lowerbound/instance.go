@@ -1,0 +1,200 @@
+// Package lowerbound builds the hard-instance family behind Theorem 6.3 and
+// provides a harness for the reduction from set-disjointness to
+// triangle detection.
+//
+// The information-theoretic lower bound itself cannot be "run"; what the
+// package reproduces is (a) the construction and its structural guarantees
+// (degeneracy Θ(κ), triangle count T = p²q·|x∧y|, triangle-freeness for
+// disjoint inputs), and (b) the empirical consequence: the space any of the
+// implemented streaming algorithms needs to distinguish YES from NO instances
+// scales as mκ/T, matching the lower bound's shape.
+package lowerbound
+
+import (
+	"fmt"
+
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// Disjointness is an instance of the promise set-disjointness problem
+// disj^N_R: two N-bit strings with exactly R ones each that either share no
+// index (YES / disjoint) or share at least one (NO / intersecting).
+type Disjointness struct {
+	N int
+	X []bool
+	Y []bool
+}
+
+// NewDisjointness builds a disjointness instance with exactly onesPerSide
+// ones per string. If intersecting is true the two strings share exactly one
+// index; otherwise they are disjoint (which requires 2·onesPerSide ≤ N).
+func NewDisjointness(n, onesPerSide int, intersecting bool, seed uint64) (*Disjointness, error) {
+	if onesPerSide < 1 || n < 1 {
+		return nil, fmt.Errorf("lowerbound: need positive sizes, got n=%d ones=%d", n, onesPerSide)
+	}
+	if !intersecting && 2*onesPerSide > n {
+		return nil, fmt.Errorf("lowerbound: disjoint instance needs 2·%d <= %d", onesPerSide, n)
+	}
+	if intersecting && onesPerSide > n {
+		return nil, fmt.Errorf("lowerbound: %d ones do not fit in %d bits", onesPerSide, n)
+	}
+	rng := sampling.NewRNG(seed)
+	perm := rng.Perm(n)
+	d := &Disjointness{N: n, X: make([]bool, n), Y: make([]bool, n)}
+	if intersecting {
+		// Share the first permuted index; fill the rest disjointly as far as
+		// possible (wrap-around overlap beyond the first shared index is
+		// harmless for the promise, which only requires at least one shared
+		// index in the NO case).
+		shared := perm[0]
+		d.X[shared] = true
+		d.Y[shared] = true
+		idx := 1
+		for placed := 1; placed < onesPerSide && idx < n; placed, idx = placed+1, idx+1 {
+			d.X[perm[idx]] = true
+		}
+		for placed := 1; placed < onesPerSide && idx < n; placed, idx = placed+1, idx+1 {
+			d.Y[perm[idx]] = true
+		}
+	} else {
+		for i := 0; i < onesPerSide; i++ {
+			d.X[perm[i]] = true
+		}
+		for i := 0; i < onesPerSide; i++ {
+			d.Y[perm[onesPerSide+i]] = true
+		}
+	}
+	return d, nil
+}
+
+// Intersects reports whether the two strings share an index.
+func (d *Disjointness) Intersects() bool {
+	for i := range d.X {
+		if d.X[i] && d.Y[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersections returns the number of shared indices.
+func (d *Disjointness) Intersections() int {
+	c := 0
+	for i := range d.X {
+		if d.X[i] && d.Y[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// Instance is the graph instance of the triangle-detection problem produced
+// by the Theorem 6.3 reduction.
+type Instance struct {
+	// P is the size of each side of the fixed complete bipartite core (p = κ).
+	P int
+	// Q is the size of each block V_i (q = κ^{r-2} in the theorem's notation).
+	Q int
+	// Disj is the underlying disjointness instance.
+	Disj *Disjointness
+	// Graph is the constructed graph.
+	Graph *graph.Graph
+	// AliceEdges and BobEdges are the edge sets contributed by the two
+	// players; FixedEdges is the public complete bipartite core. The stream
+	// order is Fixed, then Alice, then Bob — the order used by the one-way
+	// reduction.
+	FixedEdges, AliceEdges, BobEdges []graph.Edge
+}
+
+// BuildInstance constructs the Theorem 6.3 graph for the given disjointness
+// instance: a complete bipartite core A×B with |A| = |B| = p, plus N blocks
+// V_1..V_N of q vertices each; every vertex of V_i is joined to all of A when
+// x_i = 1 (Alice) and to all of B when y_i = 1 (Bob).
+func BuildInstance(d *Disjointness, p, q int) (*Instance, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("lowerbound: p and q must be positive, got p=%d q=%d", p, q)
+	}
+	inst := &Instance{P: p, Q: q, Disj: d}
+	// Vertex layout: A = [0, p), B = [p, 2p), block V_i = [2p + i·q, 2p + (i+1)·q).
+	blockStart := func(i int) int { return 2*p + i*q }
+
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			inst.FixedEdges = append(inst.FixedEdges, graph.NewEdge(a, p+b))
+		}
+	}
+	for i := 0; i < d.N; i++ {
+		if d.X[i] {
+			for j := 0; j < q; j++ {
+				v := blockStart(i) + j
+				for a := 0; a < p; a++ {
+					inst.AliceEdges = append(inst.AliceEdges, graph.NewEdge(v, a))
+				}
+			}
+		}
+		if d.Y[i] {
+			for j := 0; j < q; j++ {
+				v := blockStart(i) + j
+				for b := 0; b < p; b++ {
+					inst.BobEdges = append(inst.BobEdges, graph.NewEdge(v, p+b))
+				}
+			}
+		}
+	}
+
+	b := graph.NewBuilder(2*p + d.N*q)
+	b.AddEdges(inst.FixedEdges)
+	b.AddEdges(inst.AliceEdges)
+	b.AddEdges(inst.BobEdges)
+	inst.Graph = b.Build()
+	return inst, nil
+}
+
+// Stream returns the instance as an edge stream in the reduction's order:
+// fixed core first, then Alice's edges, then Bob's edges.
+func (inst *Instance) Stream() stream.Stream {
+	edges := make([]graph.Edge, 0, len(inst.FixedEdges)+len(inst.AliceEdges)+len(inst.BobEdges))
+	edges = append(edges, inst.FixedEdges...)
+	edges = append(edges, inst.AliceEdges...)
+	edges = append(edges, inst.BobEdges...)
+	return stream.FromEdges(edges)
+}
+
+// ShuffledStream returns the instance's edges in a seeded arbitrary order,
+// which is what the constant-pass arbitrary-order model allows.
+func (inst *Instance) ShuffledStream(seed uint64) stream.Stream {
+	return stream.FromGraphShuffled(inst.Graph, seed)
+}
+
+// ExpectedTriangles returns the triangle count implied by the construction:
+// p²·q per shared index (each shared index i contributes a triangle for every
+// (a, b, v) with a ∈ A, b ∈ B, v ∈ V_i).
+func (inst *Instance) ExpectedTriangles() int64 {
+	return int64(inst.P) * int64(inst.P) * int64(inst.Q) * int64(inst.Disj.Intersections())
+}
+
+// DegeneracyUpperBound returns the bound argued in the proof of Theorem 6.3:
+// p for YES instances and 2p for NO instances, via the ordering that places
+// all blocks before A before B.
+func (inst *Instance) DegeneracyUpperBound() int {
+	if inst.Disj.Intersects() {
+		return 2 * inst.P
+	}
+	return inst.P
+}
+
+// ExpectedEdges returns m = p² + (#ones in x + #ones in y)·p·q.
+func (inst *Instance) ExpectedEdges() int {
+	ones := 0
+	for i := range inst.Disj.X {
+		if inst.Disj.X[i] {
+			ones++
+		}
+		if inst.Disj.Y[i] {
+			ones++
+		}
+	}
+	return inst.P*inst.P + ones*inst.P*inst.Q
+}

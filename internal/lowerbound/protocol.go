@@ -1,0 +1,130 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"degentri/internal/core"
+)
+
+// DetectionResult is the outcome of running a streaming triangle-detection
+// protocol on a lower-bound instance.
+type DetectionResult struct {
+	// Detected reports whether the protocol declared "at least T triangles".
+	Detected bool
+	// Estimate is the underlying triangle estimate.
+	Estimate float64
+	// SpaceWords is the peak space of the streaming algorithm, which is what
+	// the reduction converts into communication (space × passes × word size).
+	SpaceWords int64
+	// Passes is the number of stream passes.
+	Passes int
+	// CommunicationBits is the communication cost of the induced
+	// set-disjointness protocol: each pass forwards the algorithm's memory
+	// across the Alice/Bob cut once in each direction, so the cost is
+	// 2 · passes · space · 64 bits.
+	CommunicationBits int64
+}
+
+// DetectTriangles runs the paper's estimator on the instance and thresholds
+// its estimate at half the instance's planted triangle count, the standard
+// gap-detection use of an approximate counter. threshold <= 0 uses
+// ExpectedTriangles()/2 computed for a single shared index (the promise gap).
+func DetectTriangles(inst *Instance, cfg core.Config, threshold float64) (DetectionResult, error) {
+	if threshold <= 0 {
+		threshold = float64(inst.P) * float64(inst.P) * float64(inst.Q) / 2
+	}
+	src := inst.ShuffledStream(cfg.Seed + 7)
+	res, err := core.EstimateTriangles(src, cfg)
+	if err != nil {
+		return DetectionResult{}, err
+	}
+	return DetectionResult{
+		Detected:          res.Estimate >= threshold,
+		Estimate:          res.Estimate,
+		SpaceWords:        res.SpaceWords,
+		Passes:            res.Passes,
+		CommunicationBits: 2 * int64(res.Passes) * res.SpaceWords * 64,
+	}, nil
+}
+
+// SolveDisjointness demonstrates the reduction end to end: given a
+// disjointness instance and the construction parameters, it builds the graph,
+// runs triangle detection, and answers "intersecting?" accordingly. The
+// communication cost of the induced protocol is reported alongside.
+func SolveDisjointness(d *Disjointness, p, q int, cfg core.Config) (bool, DetectionResult, error) {
+	inst, err := BuildInstance(d, p, q)
+	if err != nil {
+		return false, DetectionResult{}, err
+	}
+	det, err := DetectTriangles(inst, cfg, 0)
+	if err != nil {
+		return false, DetectionResult{}, err
+	}
+	return det.Detected, det, nil
+}
+
+// MinimalDetectionSpace performs a doubling search over the estimator's
+// explicit sample budget to find (approximately) the smallest space at which
+// the estimator reliably separates a NO instance (with one shared index) from
+// a YES instance, using `trials` trials per budget and requiring all of them
+// to classify both instances correctly. It returns the space in words of the
+// successful budget. This is the measurement behind the E7 experiment: the
+// returned space should scale like mκ/T across the instance family.
+func MinimalDetectionSpace(p, q, n, onesPerSide int, baseCfg core.Config, trials int, seed uint64) (int64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("lowerbound: trials must be positive")
+	}
+	yesD, err := NewDisjointness(n, onesPerSide, false, seed)
+	if err != nil {
+		return 0, err
+	}
+	noD, err := NewDisjointness(n, onesPerSide, true, seed+1)
+	if err != nil {
+		return 0, err
+	}
+	yes, err := BuildInstance(yesD, p, q)
+	if err != nil {
+		return 0, err
+	}
+	no, err := BuildInstance(noD, p, q)
+	if err != nil {
+		return 0, err
+	}
+	threshold := float64(p) * float64(p) * float64(q) / 2
+
+	for budget := 4; budget <= 1<<22; budget *= 2 {
+		ok := true
+		var lastSpace int64
+		for trial := 0; trial < trials && ok; trial++ {
+			cfg := baseCfg
+			cfg.ROverride, cfg.LOverride, cfg.SOverride = budget, budget, maxIntLB(budget/4, 1)
+			cfg.Seed = seed + uint64(trial)*131 + uint64(budget)
+
+			noRes, err := DetectTriangles(no, cfg, threshold)
+			if err != nil {
+				return 0, err
+			}
+			yesRes, err := DetectTriangles(yes, cfg, threshold)
+			if err != nil {
+				return 0, err
+			}
+			if !noRes.Detected || yesRes.Detected {
+				ok = false
+			}
+			if noRes.SpaceWords > lastSpace {
+				lastSpace = noRes.SpaceWords
+			}
+		}
+		if ok {
+			return lastSpace, nil
+		}
+	}
+	return 0, fmt.Errorf("lowerbound: no budget up to 2^22 separated the instances")
+}
+
+func maxIntLB(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

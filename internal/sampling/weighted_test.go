@@ -1,0 +1,176 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasTableErrors(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewAliasTable([]float64{1, -2}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewAliasTable([]float64{0, 0}); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	rng := NewRNG(11)
+	const trials = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[tab.Sample(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight outcome sampled %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		frac := float64(counts[i]) / trials
+		want := w / total
+		if math.Abs(frac-want) > 0.01 {
+			t.Fatalf("outcome %d frequency %.4f, want ~%.4f", i, frac, want)
+		}
+	}
+}
+
+func TestAliasTableSingleOutcome(t *testing.T) {
+	tab, err := NewAliasTable([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(12)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(rng) != 0 {
+			t.Fatal("single outcome not always sampled")
+		}
+	}
+}
+
+func TestCumulativeSamplerErrors(t *testing.T) {
+	if _, err := NewCumulativeSampler(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewCumulativeSampler([]int64{0, 0}); err == nil {
+		t.Error("expected error for zero total")
+	}
+	if _, err := NewCumulativeSampler([]int64{3, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+}
+
+func TestCumulativeSamplerDistribution(t *testing.T) {
+	weights := []int64{2, 0, 5, 3}
+	cs, err := NewCumulativeSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Total() != 10 {
+		t.Fatalf("Total = %d", cs.Total())
+	}
+	rng := NewRNG(13)
+	const trials = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[cs.Sample(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight outcome sampled %d times", counts[1])
+	}
+	for i, w := range weights {
+		frac := float64(counts[i]) / trials
+		want := float64(w) / 10
+		if math.Abs(frac-want) > 0.01 {
+			t.Fatalf("outcome %d frequency %.4f, want %.4f", i, frac, want)
+		}
+	}
+}
+
+// Property: alias table and cumulative sampler agree (in distribution) on the
+// same weights; compare empirical frequencies loosely.
+func TestAliasVsCumulativeAgreement(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		weightsF := make([]float64, len(raw))
+		weightsI := make([]int64, len(raw))
+		var total int64
+		for i, r := range raw {
+			w := int64(r%16) + 0
+			weightsF[i] = float64(w)
+			weightsI[i] = w
+			total += w
+		}
+		if total == 0 {
+			return true
+		}
+		at, err1 := NewAliasTable(weightsF)
+		cs, err2 := NewCumulativeSampler(weightsI)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		rng1 := NewRNG(99)
+		rng2 := NewRNG(77)
+		const trials = 20000
+		ca := make([]float64, len(raw))
+		cc := make([]float64, len(raw))
+		for i := 0; i < trials; i++ {
+			ca[at.Sample(rng1)]++
+			cc[cs.Sample(rng2)]++
+		}
+		for i := range ca {
+			if math.Abs(ca[i]-cc[i])/trials > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasTableSample(b *testing.B) {
+	weights := make([]float64, 10000)
+	rng := NewRNG(1)
+	for i := range weights {
+		weights[i] = rng.Float64() * 100
+	}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Sample(rng)
+	}
+}
+
+func BenchmarkCumulativeSample(b *testing.B) {
+	weights := make([]int64, 10000)
+	rng := NewRNG(1)
+	for i := range weights {
+		weights[i] = rng.Int63n(100) + 1
+	}
+	cs, err := NewCumulativeSampler(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Sample(rng)
+	}
+}

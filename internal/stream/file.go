@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"degentri/internal/graph"
+)
+
+// FileStream streams edges from a whitespace-separated edge-list text file:
+// one edge per line, "u v", with '#' or '%' prefixed lines treated as
+// comments. The file is re-opened (rewound) on every Reset, so a FileStream
+// uses O(1) memory regardless of graph size.
+type FileStream struct {
+	path    string
+	file    *os.File
+	scanner *bufio.Scanner
+	line    int
+	m       int
+	mKnown  bool
+}
+
+// OpenFile returns a FileStream over the given edge-list file. The file is
+// not opened until the first Reset.
+func OpenFile(path string) *FileStream {
+	return &FileStream{path: path}
+}
+
+// Reset implements Stream by (re)opening the file.
+func (f *FileStream) Reset() error {
+	if f.file != nil {
+		if _, err := f.file.Seek(0, io.SeekStart); err != nil {
+			f.file.Close()
+			f.file = nil
+		}
+	}
+	if f.file == nil {
+		file, err := os.Open(f.path)
+		if err != nil {
+			return fmt.Errorf("stream: open %s: %w", f.path, err)
+		}
+		f.file = file
+	}
+	f.scanner = bufio.NewScanner(f.file)
+	f.scanner.Buffer(make([]byte, 64*1024), 1<<20)
+	f.line = 0
+	return nil
+}
+
+// Next implements Stream.
+func (f *FileStream) Next() (graph.Edge, error) {
+	if f.scanner == nil {
+		return graph.Edge{}, ErrNoPass
+	}
+	for f.scanner.Scan() {
+		f.line++
+		text := strings.TrimSpace(f.scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return graph.Edge{}, fmt.Errorf("stream: %s:%d: malformed edge line %q", f.path, f.line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("stream: %s:%d: bad vertex %q: %w", f.path, f.line, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("stream: %s:%d: bad vertex %q: %w", f.path, f.line, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return graph.Edge{}, fmt.Errorf("stream: %s:%d: negative vertex id", f.path, f.line)
+		}
+		return graph.Edge{U: u, V: v}, nil
+	}
+	if err := f.scanner.Err(); err != nil {
+		return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", f.path, err)
+	}
+	return graph.Edge{}, ErrEndOfPass
+}
+
+// Len implements Stream. The length is unknown until a full pass (or
+// CountEdges) has been completed and recorded via SetLen.
+func (f *FileStream) Len() (int, bool) { return f.m, f.mKnown }
+
+// SetLen records the number of edges after a counting pass so later callers
+// see a known length.
+func (f *FileStream) SetLen(m int) {
+	f.m = m
+	f.mKnown = true
+}
+
+// Close releases the underlying file handle. The stream can be Reset again
+// afterwards (it will re-open the file).
+func (f *FileStream) Close() error {
+	if f.file == nil {
+		return nil
+	}
+	err := f.file.Close()
+	f.file = nil
+	f.scanner = nil
+	return err
+}
+
+// WriteEdgeList writes the edges of a stream to w as a text edge list, one
+// "u v" pair per line, returning the number of edges written.
+func WriteEdgeList(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	n, err := ForEach(s, func(e graph.Edge) error {
+		_, werr := fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		return werr
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// WriteGraphFile writes a graph's edges to the given file path as an edge
+// list with a small header comment.
+func WriteGraphFile(path string, g *graph.Graph, comment string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stream: create %s: %w", path, err)
+	}
+	defer file.Close()
+	bw := bufio.NewWriter(file)
+	if comment != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", comment); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "# n=%d m=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+)
+
+// MemoryStream is an in-memory edge stream. The edge order is fixed at
+// construction time; FromGraphShuffled applies a seeded uniform permutation
+// to model the adversarial/arbitrary arrival order of the streaming model
+// while remaining reproducible.
+type MemoryStream struct {
+	edges []graph.Edge
+	pos   int
+	begun bool
+}
+
+// FromEdges builds a stream that replays the given edges in the given order.
+// The slice is not copied; callers must not mutate it afterwards.
+func FromEdges(edges []graph.Edge) *MemoryStream {
+	return &MemoryStream{edges: edges}
+}
+
+// FromGraph builds a stream over the graph's edges in canonical
+// (lexicographic) order.
+func FromGraph(g *graph.Graph) *MemoryStream {
+	edges := make([]graph.Edge, g.NumEdges())
+	copy(edges, g.Edges())
+	return FromEdges(edges)
+}
+
+// FromGraphShuffled builds a stream over the graph's edges in a uniformly
+// random order determined by the seed. Different seeds give different
+// arbitrary orders; the same seed always gives the same order.
+func FromGraphShuffled(g *graph.Graph, seed uint64) *MemoryStream {
+	edges := make([]graph.Edge, g.NumEdges())
+	copy(edges, g.Edges())
+	rng := sampling.NewRNG(seed)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return FromEdges(edges)
+}
+
+// Reset implements Stream.
+func (s *MemoryStream) Reset() error {
+	s.pos = 0
+	s.begun = true
+	return nil
+}
+
+// Next implements Stream.
+func (s *MemoryStream) Next() (graph.Edge, error) {
+	if !s.begun {
+		return graph.Edge{}, ErrNoPass
+	}
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, ErrEndOfPass
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Len implements Stream; the length of an in-memory stream is always known.
+func (s *MemoryStream) Len() (int, bool) { return len(s.edges), true }
+
+// Edges exposes the underlying order (for tests).
+func (s *MemoryStream) Edges() []graph.Edge { return s.edges }
+
+// PassCounter wraps a Stream and counts completed Reset calls, letting
+// experiments report exactly how many passes an algorithm used.
+type PassCounter struct {
+	inner  Stream
+	passes int
+	reads  int64
+}
+
+// NewPassCounter wraps the given stream.
+func NewPassCounter(inner Stream) *PassCounter {
+	return &PassCounter{inner: inner}
+}
+
+// Reset implements Stream and increments the pass count.
+func (p *PassCounter) Reset() error {
+	if err := p.inner.Reset(); err != nil {
+		return err
+	}
+	p.passes++
+	return nil
+}
+
+// Next implements Stream.
+func (p *PassCounter) Next() (graph.Edge, error) {
+	e, err := p.inner.Next()
+	if err == nil {
+		p.reads++
+	}
+	return e, err
+}
+
+// Len implements Stream.
+func (p *PassCounter) Len() (int, bool) { return p.inner.Len() }
+
+// Passes returns how many passes have been started.
+func (p *PassCounter) Passes() int { return p.passes }
+
+// EdgesRead returns the total number of edges delivered across all passes.
+func (p *PassCounter) EdgesRead() int64 { return p.reads }

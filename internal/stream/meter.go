@@ -1,0 +1,72 @@
+package stream
+
+import "fmt"
+
+// SpaceMeter accounts for the words of working memory an estimator retains.
+// The paper's space bounds count machine words (edges, counters, samples), so
+// every estimator in this repository charges its retained state to a meter:
+// a sampled edge costs 2 words, a vertex counter 2 words (key + count), a
+// memo-table entry a handful of words, and so on. The meter tracks both the
+// current and the peak charge; experiment tables report the peak.
+//
+// SpaceMeter is not safe for concurrent use; estimators are single-threaded
+// by construction (a stream pass is inherently sequential).
+type SpaceMeter struct {
+	current int64
+	peak    int64
+}
+
+// NewSpaceMeter returns a zeroed meter.
+func NewSpaceMeter() *SpaceMeter { return &SpaceMeter{} }
+
+// Charge adds n words to the current usage. Negative charges panic; use
+// Release to return memory.
+func (s *SpaceMeter) Charge(n int64) {
+	if n < 0 {
+		panic("stream: negative charge; use Release")
+	}
+	s.current += n
+	if s.current > s.peak {
+		s.peak = s.current
+	}
+}
+
+// Release subtracts n words from the current usage. Releasing more than the
+// current usage clamps to zero (and is a sign of sloppy accounting, but not
+// worth crashing an experiment over).
+func (s *SpaceMeter) Release(n int64) {
+	if n < 0 {
+		panic("stream: negative release; use Charge")
+	}
+	s.current -= n
+	if s.current < 0 {
+		s.current = 0
+	}
+}
+
+// Current returns the words currently charged.
+func (s *SpaceMeter) Current() int64 { return s.current }
+
+// Peak returns the maximum words ever charged simultaneously.
+func (s *SpaceMeter) Peak() int64 { return s.peak }
+
+// Reset zeroes the meter.
+func (s *SpaceMeter) Reset() {
+	s.current = 0
+	s.peak = 0
+}
+
+// String implements fmt.Stringer.
+func (s *SpaceMeter) String() string {
+	return fmt.Sprintf("SpaceMeter(current=%d, peak=%d words)", s.current, s.peak)
+}
+
+// Cost constants used consistently by estimators when charging the meter.
+const (
+	// WordsPerEdge is the cost of storing one edge (two vertex IDs).
+	WordsPerEdge = 2
+	// WordsPerCounter is the cost of one keyed counter (key + value).
+	WordsPerCounter = 2
+	// WordsPerScalar is the cost of a standalone scalar accumulator.
+	WordsPerScalar = 1
+)

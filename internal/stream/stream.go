@@ -1,0 +1,97 @@
+// Package stream implements the arbitrary-order, multi-pass graph streaming
+// model of the paper: the input graph is a list of unrepeated edges, an
+// algorithm may make a constant number of sequential passes over the list,
+// and its space is measured in retained machine words rather than in bytes
+// of process memory.
+//
+// The package provides in-memory and file-backed edge streams, a pass
+// counter, and a SpaceMeter that estimators use to account for every word
+// they retain (sampled edges, per-vertex counters, memo-table entries).
+package stream
+
+import (
+	"errors"
+	"io"
+
+	"degentri/internal/graph"
+)
+
+// ErrEndOfPass is returned by Next when the current pass is exhausted. It is
+// an alias for io.EOF so stream sources can simply propagate the sentinel.
+var ErrEndOfPass = io.EOF
+
+// ErrNoPass is returned by Next when Reset has never been called.
+var ErrNoPass = errors.New("stream: Next called before Reset")
+
+// Stream is a multi-pass edge stream. A pass begins with Reset and ends when
+// Next returns ErrEndOfPass. The edge order within a pass is fixed for the
+// lifetime of the stream (the "arbitrary order" model): repeated passes see
+// the same sequence.
+type Stream interface {
+	// Reset begins a new pass from the first edge.
+	Reset() error
+	// Next returns the next edge of the current pass, or ErrEndOfPass when
+	// the pass is complete.
+	Next() (graph.Edge, error)
+	// Len returns the number of edges m if known, or ok=false when the
+	// stream length is only discovered by completing a pass.
+	Len() (m int, ok bool)
+}
+
+// ForEach runs one full pass over the stream, invoking fn for every edge.
+// It returns the number of edges seen. If fn returns a non-nil error the
+// pass stops and the error is returned.
+func ForEach(s Stream, fn func(graph.Edge) error) (int, error) {
+	if err := s.Reset(); err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		e, err := s.Next()
+		if err == ErrEndOfPass {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count++
+		if err := fn(e); err != nil {
+			return count, err
+		}
+	}
+}
+
+// CountEdges makes one pass over the stream and returns the number of edges.
+// It is how algorithms learn m when the source does not know its own length.
+func CountEdges(s Stream) (int, error) {
+	return ForEach(s, func(graph.Edge) error { return nil })
+}
+
+// Materialize makes one pass over the stream and builds the full graph. This
+// is not a streaming operation (it uses Θ(m) space) and exists for ground
+// truth computation, oracles, and tests.
+func Materialize(s Stream) (*graph.Graph, error) {
+	b := graph.NewBuilder(0)
+	_, err := ForEach(s, func(e graph.Edge) error {
+		b.AddEdge(e.U, e.V)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// Collect makes one pass and returns all edges in stream order. Like
+// Materialize it is Θ(m) space and intended for tests and drivers.
+func Collect(s Stream) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	_, err := ForEach(s, func(e graph.Edge) error {
+		edges = append(edges, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return edges, nil
+}

@@ -1,0 +1,82 @@
+package triangle
+
+import (
+	"fmt"
+
+	"degentri/internal/clique"
+	"degentri/internal/stream"
+)
+
+// CliqueOptions configures the streaming k-clique estimator, the library's
+// implementation of the paper's Conjecture 7.1 future-work direction.
+type CliqueOptions struct {
+	// K is the clique size (3 ≤ K ≤ 8). K = 3 is triangle counting without
+	// the assignment rule; prefer Estimate for triangles.
+	K int
+	// Epsilon is the target relative error in (0,1). Defaults to 0.1.
+	Epsilon float64
+	// Degeneracy is an upper bound on κ. When zero it is computed exactly
+	// with one materializing pass.
+	Degeneracy int
+	// CliqueGuess is a lower-bound guess on the number of K-cliques used to
+	// size the samples; it is required (the clique estimator does not run the
+	// geometric search).
+	CliqueGuess int64
+	// SampleMultiplier scales the sample sizes; zero means 1.
+	SampleMultiplier float64
+	// Seed makes runs reproducible; zero means 1.
+	Seed uint64
+}
+
+// ExactCliques returns the exact number of k-cliques of the graph given as an
+// edge list (k >= 1).
+func ExactCliques(edges []Edge, k int) int64 {
+	return buildGraph(edges).CliqueCount(k)
+}
+
+// EstimateCliques runs the streaming k-clique estimator over the edge list,
+// streamed in a seeded arbitrary order.
+func EstimateCliques(edges []Edge, opts CliqueOptions) (Result, error) {
+	if len(edges) == 0 {
+		return Result{}, ErrNoEdges
+	}
+	if opts.CliqueGuess < 1 {
+		return Result{}, fmt.Errorf("triangle: CliqueGuess must be a positive lower bound on the %d-clique count", opts.K)
+	}
+	g := buildGraph(edges)
+	kappa := opts.Degeneracy
+	if kappa <= 0 {
+		kappa = g.Degeneracy()
+		if kappa < 1 {
+			kappa = 1
+		}
+	}
+	eps := opts.Epsilon
+	if eps <= 0 || eps >= 1 {
+		eps = 0.1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mult := opts.SampleMultiplier
+	if mult <= 0 {
+		mult = 1
+	}
+	cfg := clique.DefaultConfig(opts.K, eps, kappa, opts.CliqueGuess)
+	cfg.CR, cfg.CL = 8*mult, 8*mult
+	cfg.Seed = seed
+
+	src := stream.FromGraphShuffled(g, seed)
+	res, err := clique.Estimate(src, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("triangle: %w", err)
+	}
+	return Result{
+		Estimate:        res.Estimate,
+		Passes:          res.Passes,
+		SpaceWords:      res.SpaceWords,
+		Edges:           res.EdgesInStream,
+		DegeneracyBound: kappa,
+	}, nil
+}

@@ -1,0 +1,245 @@
+// Package triangle is the public API of the library: streaming triangle
+// counting for low-degeneracy graphs, implementing Bera & Seshadhri,
+// "How the Degeneracy Helps for Triangle Counting in Graph Streams"
+// (PODS 2020).
+//
+// The package offers three levels of service:
+//
+//   - Exact counting (Exact, ExactFile) — materializes the graph and counts
+//     with an O(mκ)-time combinatorial counter; the reference answer.
+//   - Approximate streaming counting (Estimate, EstimateFile) — the paper's
+//     constant-pass estimator with space O~(mκ/T); never materializes the
+//     graph.
+//   - Structural helpers (Degeneracy, Stats) and small generators used by the
+//     examples and by users who want synthetic workloads.
+//
+// Lower-level control (explicit sample sizes, assignment-rule ablations, the
+// degree-oracle model, prior-work baselines) lives in the internal packages
+// and is exercised by the benchmark harness; this facade keeps the surface a
+// downstream user needs small and stable.
+package triangle
+
+import (
+	"errors"
+	"fmt"
+
+	"degentri/internal/core"
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// Edge is an undirected edge between two non-negative vertex IDs.
+type Edge struct {
+	U, V int
+}
+
+// Options configures the streaming estimator.
+type Options struct {
+	// Epsilon is the target relative error in (0, 1). Defaults to 0.1.
+	Epsilon float64
+	// Degeneracy is an upper bound on the graph degeneracy κ. When zero the
+	// library computes the exact degeneracy with one materializing pass —
+	// convenient, but it forfeits the streaming space guarantee; callers who
+	// care about space should supply a bound (for example 3 for planar-like
+	// graphs, or the attachment parameter for preferential-attachment
+	// graphs).
+	Degeneracy int
+	// TriangleGuess is a lower-bound guess for the triangle count T used to
+	// size the samples. When zero the estimator performs the standard
+	// geometric search starting from the 2mκ upper bound.
+	TriangleGuess int64
+	// Seed makes runs reproducible. Zero means seed 1.
+	Seed uint64
+	// MaxSpaceWords aborts runs whose accounted space exceeds the limit
+	// (0 = unlimited).
+	MaxSpaceWords int64
+	// Accuracy multipliers; zero means the library defaults (8, 8, 4). Larger
+	// values spend more space for lower variance.
+	SampleMultiplier float64
+}
+
+// Result reports the estimate together with its resource usage.
+type Result struct {
+	// Estimate is the estimated number of triangles.
+	Estimate float64
+	// Passes is the number of passes over the stream.
+	Passes int
+	// SpaceWords is the peak number of machine words the estimator retained.
+	SpaceWords int64
+	// Edges is the number of edges in the stream.
+	Edges int
+	// DegeneracyBound is the κ value the estimator used.
+	DegeneracyBound int
+	// Aborted reports that the MaxSpaceWords cutoff fired.
+	Aborted bool
+}
+
+// Stats summarizes a graph's triangle-relevant structure.
+type Stats struct {
+	Vertices      int
+	Edges         int
+	Triangles     int64
+	Degeneracy    int
+	MaxDegree     int
+	EdgeDegreeSum int64
+	// Transitivity is the global clustering coefficient 3T/W.
+	Transitivity float64
+}
+
+// ErrNoEdges is returned when an estimate is requested over an empty input.
+var ErrNoEdges = errors.New("triangle: input contains no edges")
+
+func buildGraph(edges []Edge) *graph.Graph {
+	b := graph.NewBuilder(0)
+	for _, e := range edges {
+		if e.U != e.V && e.U >= 0 && e.V >= 0 {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// Exact returns the exact triangle count of the graph given as an edge list.
+// Duplicate edges and self loops are ignored.
+func Exact(edges []Edge) int64 {
+	return buildGraph(edges).TriangleCount()
+}
+
+// ExactFile returns the exact triangle count of a whitespace-separated edge
+// list file ("u v" per line, # and % comments allowed).
+func ExactFile(path string) (int64, error) {
+	fs := stream.OpenFile(path)
+	defer fs.Close()
+	g, err := stream.Materialize(fs)
+	if err != nil {
+		return 0, err
+	}
+	return g.TriangleCount(), nil
+}
+
+// Degeneracy returns the exact degeneracy κ of the graph given as an edge
+// list.
+func Degeneracy(edges []Edge) int {
+	return buildGraph(edges).Degeneracy()
+}
+
+// GraphStats computes the exact structural summary of an edge list.
+func GraphStats(edges []Edge) Stats {
+	return statsOf(buildGraph(edges))
+}
+
+// GraphStatsFile computes the exact structural summary of an edge-list file.
+func GraphStatsFile(path string) (Stats, error) {
+	fs := stream.OpenFile(path)
+	defer fs.Close()
+	g, err := stream.Materialize(fs)
+	if err != nil {
+		return Stats{}, err
+	}
+	return statsOf(g), nil
+}
+
+func statsOf(g *graph.Graph) Stats {
+	return Stats{
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		Triangles:     g.TriangleCount(),
+		Degeneracy:    g.Degeneracy(),
+		MaxDegree:     g.MaxDegree(),
+		EdgeDegreeSum: g.EdgeDegreeSum(),
+		Transitivity:  g.GlobalClusteringCoefficient(),
+	}
+}
+
+// Estimate runs the streaming estimator over the edge list (streamed in a
+// seeded arbitrary order). For callers that already hold all edges in memory
+// this is mostly useful for testing configurations; EstimateFile is the
+// streaming entry point.
+func Estimate(edges []Edge, opts Options) (Result, error) {
+	if len(edges) == 0 {
+		return Result{}, ErrNoEdges
+	}
+	g := buildGraph(edges)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	src := stream.FromGraphShuffled(g, seed)
+	kappa := opts.Degeneracy
+	if kappa <= 0 {
+		kappa = g.Degeneracy()
+		if kappa < 1 {
+			kappa = 1
+		}
+	}
+	return estimateStream(src, opts, kappa)
+}
+
+// EstimateFile runs the streaming estimator over an edge-list file without
+// ever materializing the graph, provided opts.Degeneracy is set; if it is not
+// set, one extra materializing pass computes it (with a warning-sized memory
+// cost).
+func EstimateFile(path string, opts Options) (Result, error) {
+	fs := stream.OpenFile(path)
+	defer fs.Close()
+	kappa := opts.Degeneracy
+	if kappa <= 0 {
+		g, err := stream.Materialize(fs)
+		if err != nil {
+			return Result{}, err
+		}
+		kappa = g.Degeneracy()
+		if kappa < 1 {
+			kappa = 1
+		}
+	}
+	m, err := stream.CountEdges(fs)
+	if err != nil {
+		return Result{}, err
+	}
+	if m == 0 {
+		return Result{}, ErrNoEdges
+	}
+	fs.SetLen(m)
+	return estimateStream(fs, opts, kappa)
+}
+
+func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) {
+	eps := opts.Epsilon
+	if eps <= 0 || eps >= 1 {
+		eps = 0.1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mult := opts.SampleMultiplier
+	if mult <= 0 {
+		mult = 1
+	}
+
+	cfg := core.DefaultConfig(eps, kappa, 1)
+	cfg.CR, cfg.CL, cfg.CS = 8*mult, 8*mult, 4*mult
+	cfg.Seed = seed
+	cfg.MaxSpaceWords = opts.MaxSpaceWords
+
+	var res core.Result
+	var err error
+	if opts.TriangleGuess > 0 {
+		cfg.TGuess = opts.TriangleGuess
+		res, err = core.EstimateTriangles(src, cfg)
+	} else {
+		res, err = core.AutoEstimate(src, cfg)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("triangle: %w", err)
+	}
+	return Result{
+		Estimate:        res.Estimate,
+		Passes:          res.Passes,
+		SpaceWords:      res.SpaceWords,
+		Edges:           res.EdgesInStream,
+		DegeneracyBound: kappa,
+		Aborted:         res.Aborted,
+	}, nil
+}
