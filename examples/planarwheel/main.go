@@ -25,7 +25,7 @@ func main() {
 
 		res, err := triangle.Estimate(edges, triangle.Options{
 			Epsilon:       0.1,
-			Degeneracy:    3,          // wheels are planar
+			Degeneracy:    3,              // wheels are planar
 			TriangleGuess: int64(n-1) / 2, // any constant-factor lower bound works
 			Seed:          uint64(n),
 		})

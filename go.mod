@@ -1,0 +1,3 @@
+module degentri
+
+go 1.24.0

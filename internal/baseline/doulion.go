@@ -31,14 +31,32 @@ func Doulion(src stream.Stream, cfg DoulionConfig) (core.Result, error) {
 	meter := stream.NewSpaceMeter()
 	counter := stream.NewPassCounter(src)
 
+	// Independent Bernoulli(p) coins are realized as geometric gaps between
+	// kept edges (identical distribution), so the pass costs one RNG draw per
+	// kept edge instead of one per stream edge.
 	b := graph.NewBuilder(0)
 	kept := 0
-	m, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if rng.Bernoulli(cfg.P) {
+	var skip int64
+	if cfg.P < 1 {
+		skip = rng.Geometric(cfg.P) - 1
+	}
+	m, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		if cfg.P >= 1 {
+			for _, e := range batch {
+				b.AddEdge(e.U, e.V)
+			}
+			kept += len(batch)
+			meter.Charge(int64(len(batch)) * stream.WordsPerEdge)
+			return nil
+		}
+		for skip < int64(len(batch)) {
+			e := batch[skip]
 			b.AddEdge(e.U, e.V)
 			kept++
 			meter.Charge(stream.WordsPerEdge)
+			skip += rng.Geometric(cfg.P)
 		}
+		skip -= int64(len(batch))
 		return nil
 	})
 	if err != nil {

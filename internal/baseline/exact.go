@@ -30,8 +30,10 @@ func Exact(src stream.Stream) (core.Result, error) {
 	meter := stream.NewSpaceMeter()
 	counter := stream.NewPassCounter(src)
 	b := graph.NewBuilder(0)
-	m, err := stream.ForEach(counter, func(e graph.Edge) error {
-		b.AddEdge(e.U, e.V)
+	m, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			b.AddEdge(e.U, e.V)
+		}
 		return nil
 	})
 	if err != nil {

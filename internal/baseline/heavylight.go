@@ -53,10 +53,42 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	res := core.Result{SampledEdges: cfg.SampledEdges}
 
 	// ----- Pass 1: all vertex degrees and m. -----
-	degrees := make(map[int]int)
-	m, err := stream.ForEach(counter, func(e graph.Edge) error {
-		degrees[e.U]++
-		degrees[e.V]++
+	// Vertex IDs are dense ints in this repository, so the degree table is a
+	// flat slice grown on demand — a slice index per endpoint instead of a
+	// hash probe. IDs beyond the dense budget (possible in hand-written edge
+	// files) spill into a map so one huge ID cannot balloon the slice. The
+	// meter is charged for the touched (nonzero) vertices, as a pure map
+	// version would be.
+	const denseDegreeLimit = 1 << 23
+	var degrees []int32
+	var sparse map[int]int32
+	distinct := 0
+	bump := func(v int) {
+		if v >= denseDegreeLimit || v < 0 {
+			if sparse == nil {
+				sparse = make(map[int]int32)
+			}
+			if sparse[v] == 0 {
+				distinct++
+			}
+			sparse[v]++
+			return
+		}
+		if v >= len(degrees) {
+			grown := make([]int32, max(v+1, 2*len(degrees)))
+			copy(grown, degrees)
+			degrees = grown
+		}
+		if degrees[v] == 0 {
+			distinct++
+		}
+		degrees[v]++
+	}
+	m, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			bump(e.U)
+			bump(e.V)
+		}
 		return nil
 	})
 	if err != nil {
@@ -67,13 +99,21 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 		res.Passes = counter.Passes()
 		return res, nil
 	}
-	meter.Charge(int64(len(degrees)) * stream.WordsPerCounter)
+	meter.Charge(int64(distinct) * stream.WordsPerCounter)
 
 	theta := cfg.DegreeThreshold
 	if theta <= 0 {
 		theta = math.Sqrt(2 * float64(m))
 	}
-	degreeOf := func(v int) int { return degrees[v] }
+	degreeOf := func(v int) int {
+		if v >= denseDegreeLimit || v < 0 {
+			return int(sparse[v])
+		}
+		if v >= len(degrees) {
+			return 0
+		}
+		return int(degrees[v])
+	}
 	edgeDeg := func(e graph.Edge) int {
 		du, dv := degreeOf(e.U), degreeOf(e.V)
 		if du < dv {
@@ -98,17 +138,19 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	heavyEdges := 0
 	pos := 0
 	next := 0
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		e = e.Normalize()
-		if float64(degreeOf(e.U)) >= theta && float64(degreeOf(e.V)) >= theta {
-			heavyBuilder.AddEdge(e.U, e.V)
-			heavyEdges++
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			e = e.Normalize()
+			if float64(degreeOf(e.U)) >= theta && float64(degreeOf(e.V)) >= theta {
+				heavyBuilder.AddEdge(e.U, e.V)
+				heavyEdges++
+			}
+			for next < r && positions[next] == pos {
+				sample = append(sample, e)
+				next++
+			}
+			pos++
 		}
-		for next < r && positions[next] == pos {
-			sample = append(sample, e)
-			next++
-		}
-		pos++
 		return nil
 	}); err != nil {
 		return res, err
@@ -123,34 +165,33 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	heavyTriangles := heavyGraph.TriangleCount()
 
 	// ----- Pass 3: uniform neighbor of the light endpoint per sampled light edge. -----
-	var lights []*lightSample
-	lightIndex := make(map[int][]*lightSample)
+	var lights []lightSample
+	var lightVerts []int
 	for _, e := range sample {
 		de := edgeDeg(e)
 		if float64(de) >= theta {
 			continue // heavy edge: its attributed triangles are counted exactly
 		}
-		ls := &lightSample{edge: e, deg: de}
+		ls := lightSample{edge: e, deg: de}
 		if degreeOf(e.U) <= degreeOf(e.V) {
 			ls.light, ls.other = e.U, e.V
 		} else {
 			ls.light, ls.other = e.V, e.U
 		}
 		lights = append(lights, ls)
-		lightIndex[ls.light] = append(lightIndex[ls.light], ls)
+		lightVerts = append(lightVerts, ls.light)
 	}
 	meter.Charge(int64(len(lights)) * 8 * stream.WordsPerScalar)
 
 	if len(lights) > 0 {
-		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-			if refs, ok := lightIndex[e.U]; ok {
-				for _, ls := range refs {
-					ls.offer(e.V, rng)
+		lightGroups := graph.NewVertexGroups(lightVerts)
+		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				for _, idx := range lightGroups.Lookup(e.U) {
+					lights[idx].offer(e.V, rng)
 				}
-			}
-			if refs, ok := lightIndex[e.V]; ok {
-				for _, ls := range refs {
-					ls.offer(e.U, rng)
+				for _, idx := range lightGroups.Lookup(e.V) {
+					lights[idx].offer(e.U, rng)
 				}
 			}
 			return nil
@@ -159,20 +200,23 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 		}
 
 		// ----- Pass 4: closure checks. -----
-		closure := make(map[graph.Edge][]*lightSample)
-		for _, ls := range lights {
+		var closureKeys []graph.Edge
+		var closureItem []int32
+		for i := range lights {
+			ls := &lights[i]
 			if !ls.hasW || ls.w == ls.other {
 				ls.hasW = false
 				continue
 			}
-			key := graph.NewEdge(ls.other, ls.w)
-			closure[key] = append(closure[key], ls)
+			closureKeys = append(closureKeys, graph.NewEdge(ls.other, ls.w))
+			closureItem = append(closureItem, int32(i))
 		}
-		meter.Charge(int64(len(closure)) * (stream.WordsPerEdge + stream.WordsPerScalar))
-		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-			if refs, ok := closure[e.Normalize()]; ok {
-				for _, ls := range refs {
-					ls.closed = true
+		closure := graph.NewEdgeIndex(closureKeys)
+		meter.Charge(int64(closure.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
+		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				for _, it := range closure.Lookup(e.Normalize()) {
+					lights[closureItem[it]].closed = true
 				}
 			}
 			return nil
@@ -186,7 +230,8 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	// smallest) edge.
 	var lightEstimate float64
 	found := int(heavyTriangles)
-	for _, ls := range lights {
+	for i := range lights {
+		ls := &lights[i]
 		if !ls.closed {
 			continue
 		}

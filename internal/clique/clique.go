@@ -163,19 +163,17 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	}
 	meter.Charge(int64(len(R)) * stream.WordsPerEdge)
 
-	// Pass 2: degrees of endpoints of R.
-	vertexDeg := make(map[int]int)
+	// Pass 2: degrees of endpoints of R, in a dense sorted counter.
+	endpoints := make([]int, 0, 2*len(R))
 	for _, e := range R {
-		vertexDeg[e.U] = 0
-		vertexDeg[e.V] = 0
+		endpoints = append(endpoints, e.U, e.V)
 	}
-	meter.Charge(int64(len(vertexDeg)) * stream.WordsPerCounter)
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if _, ok := vertexDeg[e.U]; ok {
-			vertexDeg[e.U]++
-		}
-		if _, ok := vertexDeg[e.V]; ok {
-			vertexDeg[e.V]++
+	vertexDeg := graph.NewSortedCounter(endpoints)
+	meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			vertexDeg.Inc(e.U)
+			vertexDeg.Inc(e.V)
 		}
 		return nil
 	}); err != nil {
@@ -184,9 +182,11 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	edgeDegs := make([]int64, len(R))
 	var dR int64
 	for i, e := range R {
-		de := vertexDeg[e.U]
-		if vertexDeg[e.V] < de {
-			de = vertexDeg[e.V]
+		du, _ := vertexDeg.Get(e.U)
+		dv, _ := vertexDeg.Get(e.V)
+		de := du
+		if dv < de {
+			de = dv
 		}
 		edgeDegs[i] = int64(de)
 		dR += int64(de)
@@ -206,7 +206,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	}
 	extra := cfg.K - 2
 	instances := make([]*instance, l)
-	lightIndex := make(map[int][]*instance)
+	lights := make([]int, l)
 	for i := 0; i < l; i++ {
 		idx := cum.Sample(rng)
 		e := R[idx]
@@ -219,26 +219,27 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		for j := range inst.sampled {
 			inst.sampled[j] = -1
 		}
-		if vertexDeg[e.U] <= vertexDeg[e.V] {
+		du, _ := vertexDeg.Get(e.U)
+		dv, _ := vertexDeg.Get(e.V)
+		if du <= dv {
 			inst.light, inst.other = e.U, e.V
 		} else {
 			inst.light, inst.other = e.V, e.U
 		}
 		instances[i] = inst
-		lightIndex[inst.light] = append(lightIndex[inst.light], inst)
+		lights[i] = inst.light
 	}
+	lightGroups := graph.NewVertexGroups(lights)
 	meter.Charge(int64(l) * int64(6+2*extra) * stream.WordsPerScalar)
 
 	// Pass 3: k-2 independent uniform neighbors of the light endpoint.
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if insts, ok := lightIndex[e.U]; ok {
-			for _, inst := range insts {
-				inst.offer(e.V, rng)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			for _, idx := range lightGroups.Lookup(e.U) {
+				instances[idx].offer(e.V, rng)
 			}
-		}
-		if insts, ok := lightIndex[e.V]; ok {
-			for _, inst := range insts {
-				inst.offer(e.U, rng)
+			for _, idx := range lightGroups.Lookup(e.V) {
+				instances[idx].offer(e.U, rng)
 			}
 		}
 		return nil
@@ -247,16 +248,18 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	}
 
 	// Pass 4: verify all remaining adjacencies of each candidate clique.
-	needed := make(map[graph.Edge][]*instance)
-	for _, inst := range instances {
-		inst.prepare(needed)
+	var needKeys []graph.Edge
+	var needInst []int32
+	for i, inst := range instances {
+		inst.prepare(i, &needKeys, &needInst)
 	}
-	meter.Charge(int64(len(needed)) * (stream.WordsPerEdge + stream.WordsPerScalar))
-	if len(needed) > 0 {
-		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-			if insts, ok := needed[e.Normalize()]; ok {
-				for _, inst := range insts {
-					inst.matched++
+	needed := graph.NewEdgeIndex(needKeys)
+	meter.Charge(int64(needed.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
+	if needed.Keys() > 0 {
+		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				for _, it := range needed.Lookup(e.Normalize()) {
+					instances[needInst[it]].matched++
 				}
 			}
 			return nil
@@ -299,8 +302,9 @@ func (inst *instance) offer(v int, rng *sampling.RNG) {
 // prepare validates distinctness and registers the adjacency checks the
 // closure pass must confirm: every sampled vertex must be adjacent to the
 // heavy endpoint, and all sampled vertices must be pairwise adjacent.
-// (Adjacency to the light endpoint holds by construction.)
-func (inst *instance) prepare(needed map[graph.Edge][]*instance) {
+// (Adjacency to the light endpoint holds by construction.) Requirements are
+// appended as (edge key, instance index) pairs for a graph.EdgeIndex.
+func (inst *instance) prepare(idx int, needKeys *[]graph.Edge, needInst *[]int32) {
 	inst.distinct = true
 	for i, w := range inst.sampled {
 		if w < 0 || w == inst.other || w == inst.light {
@@ -315,12 +319,12 @@ func (inst *instance) prepare(needed map[graph.Edge][]*instance) {
 		}
 	}
 	for i, w := range inst.sampled {
-		key := graph.NewEdge(inst.other, w)
-		needed[key] = append(needed[key], inst)
+		*needKeys = append(*needKeys, graph.NewEdge(inst.other, w))
+		*needInst = append(*needInst, int32(idx))
 		inst.required++
 		for j := i + 1; j < len(inst.sampled); j++ {
-			key := graph.NewEdge(w, inst.sampled[j])
-			needed[key] = append(needed[key], inst)
+			*needKeys = append(*needKeys, graph.NewEdge(w, inst.sampled[j]))
+			*needInst = append(*needInst, int32(idx))
 			inst.required++
 		}
 	}
@@ -340,18 +344,20 @@ func sampleUniformEdges(src stream.Stream, rng *sampling.RNG, m, r int) ([]graph
 	}
 	pos, next := 0, 0
 	for {
-		e, err := src.Next()
+		batch, err := src.NextBatch(nil)
 		if err == stream.ErrEndOfPass {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		for next < r && positions[next] == pos {
-			sample[next] = e.Normalize()
-			next++
+		for _, e := range batch {
+			for next < r && positions[next] == pos {
+				sample[next] = e.Normalize()
+				next++
+			}
+			pos++
 		}
-		pos++
 	}
 	if next < r {
 		return nil, fmt.Errorf("clique: stream ended after %d edges, expected %d", pos, m)

@@ -192,4 +192,7 @@ type hiddenLen struct{ inner stream.Stream }
 
 func (h *hiddenLen) Reset() error              { return h.inner.Reset() }
 func (h *hiddenLen) Next() (graph.Edge, error) { return h.inner.Next() }
-func (h *hiddenLen) Len() (int, bool)          { return 0, false }
+func (h *hiddenLen) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	return h.inner.NextBatch(buf)
+}
+func (h *hiddenLen) Len() (int, bool) { return 0, false }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 
 	"degentri/internal/graph"
 	"degentri/internal/stream"
@@ -23,10 +24,16 @@ type triState struct {
 	ye     [3]float64
 }
 
-// slotRef points at one edge slot of one triangle state.
-type slotRef struct {
-	st   *triState
-	slot int
+// offer feeds one neighbor of the slot's light endpoint into the slot's s
+// independent size-1 reservoirs (sampling with replacement from N(f)).
+func (st *triState) offer(slot, v int, est *Estimator) {
+	st.seen[slot]++
+	n := st.seen[slot]
+	for j := range st.sample[slot] {
+		if est.rng.Int63n(n) == 0 {
+			st.sample[slot][j] = v
+		}
+	}
 }
 
 // assign runs the triangle-to-edge assignment phase and returns, for every
@@ -37,10 +44,14 @@ type slotRef struct {
 // passes. RuleLowestDegree assigns to the minimum-degree edge using degrees
 // already measured in passes 2 and 4, also without extra passes.
 // RuleLowestCount is the paper's rule and performs passes 5 and 6.
+//
+// All iteration is over slices in triangle-discovery order (the memo table
+// keeps only the dedup index), so the randomness consumed in pass 5 — and
+// with it the estimate — is deterministic for a fixed seed.
 func (est *Estimator) assign(
 	counter stream.Stream,
 	res *Result,
-	instances []*instance,
+	instances []instance,
 	degreeOf func(int) (int, bool),
 	m int,
 ) (map[graph.Triangle]graph.Edge, error) {
@@ -52,15 +63,18 @@ func (est *Estimator) assign(
 
 	// Deduplicate the discovered triangles: the memo table of Section 5.1,
 	// which also guarantees that repeated IsAssigned calls are consistent.
-	states := make(map[graph.Triangle]*triState)
-	for _, inst := range instances {
+	// states holds the distinct triangles in discovery order.
+	stateIdx := make(map[graph.Triangle]int)
+	var states []triState
+	for i := range instances {
+		inst := &instances[i]
 		if !inst.closed {
 			continue
 		}
-		if _, ok := states[inst.tri]; ok {
+		if _, ok := stateIdx[inst.tri]; ok {
 			continue
 		}
-		st := &triState{tri: inst.tri, edges: inst.tri.Edges()}
+		st := triState{tri: inst.tri, edges: inst.tri.Edges()}
 		for slot, f := range st.edges {
 			du, okU := degreeOf(f.U)
 			dv, okV := degreeOf(f.V)
@@ -83,7 +97,8 @@ func (est *Estimator) assign(
 				st.light[slot], st.other[slot] = f.V, f.U
 			}
 		}
-		states[inst.tri] = st
+		stateIdx[inst.tri] = len(states)
+		states = append(states, st)
 	}
 	res.DistinctTriangles = len(states)
 	if len(states) == 0 {
@@ -91,7 +106,8 @@ func (est *Estimator) assign(
 	}
 
 	if cfg.Rule == RuleLowestDegree {
-		for tri, st := range states {
+		for si := range states {
+			st := &states[si]
 			best := -1
 			for slot := range st.edges {
 				if st.skip[slot] {
@@ -103,7 +119,7 @@ func (est *Estimator) assign(
 				}
 			}
 			if best >= 0 {
-				assignments[tri] = st.edges[best]
+				assignments[st.tri] = st.edges[best]
 			}
 		}
 		est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
@@ -116,9 +132,12 @@ func (est *Estimator) assign(
 	heavyThreshold := cfg.heavyEdgeDegreeThreshold(m)
 	cutoff := cfg.assignmentCutoff()
 
-	lightIndex := make(map[int][]slotRef)
-	needsPasses := false
-	for _, st := range states {
+	// Active (state, slot) pairs grouped by the slot's light endpoint. Slot
+	// IDs are state-index*3+slot; groups preserve discovery order.
+	var slotLights []int
+	var slotIDs []int32
+	for si := range states {
+		st := &states[si]
 		for slot := range st.edges {
 			if st.skip[slot] {
 				continue
@@ -133,8 +152,8 @@ func (est *Estimator) assign(
 			for j := range st.sample[slot] {
 				st.sample[slot][j] = -1
 			}
-			lightIndex[st.light[slot]] = append(lightIndex[st.light[slot]], slotRef{st: st, slot: slot})
-			needsPasses = true
+			slotLights = append(slotLights, st.light[slot])
+			slotIDs = append(slotIDs, int32(si*3+slot))
 		}
 		est.meter.Charge(int64(3*(s+8)) * stream.WordsPerScalar)
 	}
@@ -143,17 +162,19 @@ func (est *Estimator) assign(
 		return assignments, nil
 	}
 
-	if needsPasses {
+	if len(slotIDs) > 0 {
+		lightGroups := graph.NewVertexGroups(slotLights)
+
 		// ----- Pass 5: s uniform neighborhood samples per active slot. -----
-		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-			if refs, ok := lightIndex[e.U]; ok {
-				for _, ref := range refs {
-					ref.offer(e.V, est)
+		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				for _, idx := range lightGroups.Lookup(e.U) {
+					id := slotIDs[idx]
+					states[id/3].offer(int(id%3), e.V, est)
 				}
-			}
-			if refs, ok := lightIndex[e.V]; ok {
-				for _, ref := range refs {
-					ref.offer(e.U, est)
+				for _, idx := range lightGroups.Lookup(e.V) {
+					id := slotIDs[idx]
+					states[id/3].offer(int(id%3), e.U, est)
 				}
 			}
 			return nil
@@ -162,38 +183,51 @@ func (est *Estimator) assign(
 		}
 
 		// ----- Pass 6: closure checks for all drawn samples. -----
+		// For each active slot, count the distinct sampled neighbors (a sort
+		// over its s samples instead of a scratch map) and index the closing
+		// edges they imply.
 		type hit struct {
-			st    *triState
-			slot  int
-			count int
+			id    int32 // state-index*3+slot
+			count int32
 		}
-		closure := make(map[graph.Edge][]*hit)
-		for _, st := range states {
+		var hitKeys []graph.Edge
+		var hits []hit
+		scratch := make([]int, 0, s)
+		for si := range states {
+			st := &states[si]
 			for slot := range st.edges {
 				if st.skip[slot] || st.sample[slot] == nil {
 					continue
 				}
-				perVertex := make(map[int]int)
+				scratch = scratch[:0]
 				for _, w := range st.sample[slot] {
 					if w >= 0 && w != st.other[slot] {
-						perVertex[w]++
+						scratch = append(scratch, w)
 					}
 				}
-				for w, count := range perVertex {
-					key := graph.NewEdge(st.other[slot], w)
-					closure[key] = append(closure[key], &hit{st: st, slot: slot, count: count})
+				slices.Sort(scratch)
+				for k := 0; k < len(scratch); {
+					j := k + 1
+					for j < len(scratch) && scratch[j] == scratch[k] {
+						j++
+					}
+					hitKeys = append(hitKeys, graph.NewEdge(st.other[slot], scratch[k]))
+					hits = append(hits, hit{id: int32(si*3 + slot), count: int32(j - k)})
+					k = j
 				}
 			}
 		}
-		est.meter.Charge(int64(len(closure)) * (stream.WordsPerEdge + 2*stream.WordsPerScalar))
+		closure := graph.NewEdgeIndex(hitKeys)
+		est.meter.Charge(int64(closure.Keys()) * (stream.WordsPerEdge + 2*stream.WordsPerScalar))
 		if est.overBudget() {
 			res.Aborted = true
 			return assignments, nil
 		}
-		if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-			if hits, ok := closure[e.Normalize()]; ok {
-				for _, h := range hits {
-					h.st.closed[h.slot] += h.count
+		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				for _, it := range closure.Lookup(e.Normalize()) {
+					h := hits[it]
+					states[h.id/3].closed[h.id%3] += int(h.count)
 				}
 			}
 			return nil
@@ -203,7 +237,8 @@ func (est *Estimator) assign(
 	}
 
 	// Line 16–21: estimate Ye per slot and pick the minimizer.
-	for tri, st := range states {
+	for si := range states {
+		st := &states[si]
 		for slot := range st.edges {
 			if st.skip[slot] {
 				st.ye[slot] = math.Inf(1)
@@ -221,21 +256,8 @@ func (est *Estimator) assign(
 		if math.IsInf(st.ye[best], 1) || st.ye[best] > cutoff {
 			continue // unassigned (⊥)
 		}
-		assignments[tri] = st.edges[best]
+		assignments[st.tri] = st.edges[best]
 	}
 	est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
 	return assignments, nil
-}
-
-// offer feeds one neighbor of the slot's light endpoint into the slot's s
-// independent size-1 reservoirs (sampling with replacement from N(f)).
-func (ref slotRef) offer(v int, est *Estimator) {
-	st, slot := ref.st, ref.slot
-	st.seen[slot]++
-	n := st.seen[slot]
-	for j := range st.sample[slot] {
-		if est.rng.Int63n(n) == 0 {
-			st.sample[slot][j] = v
-		}
-	}
 }

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+
+	"degentri/internal/core"
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// benchWorkload builds the estimator benchmark workload once per benchmark.
+func benchWorkload(b *testing.B) (*graph.Graph, core.Config) {
+	b.Helper()
+	g := gen.HolmeKim(8000, 8, 0.7, 102)
+	cfg := core.DefaultConfig(0.1, g.Degeneracy(), g.TriangleCount())
+	cfg.CR, cfg.CL, cfg.CS = 16, 16, 8
+	return g, cfg
+}
+
+// BenchmarkEstimateTriangles measures the full six-pass estimator end to end
+// on an in-memory stream; the edges/s metric counts every edge of every pass.
+func BenchmarkEstimateTriangles(b *testing.B) {
+	g, cfg := benchWorkload(b)
+	m := g.NumEdges()
+	passes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := core.EstimateTriangles(stream.FromGraphShuffled(g, uint64(i)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passes = res.Passes
+	}
+	b.ReportMetric(float64(m)*float64(passes)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkEstimateTrianglesRuleNone measures the four-pass ablation (no
+// assignment procedure), isolating passes 1–4.
+func BenchmarkEstimateTrianglesRuleNone(b *testing.B) {
+	g, cfg := benchWorkload(b)
+	cfg.Rule = core.RuleNone
+	m := g.NumEdges()
+	passes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := core.EstimateTriangles(stream.FromGraphShuffled(g, uint64(i)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passes = res.Passes
+	}
+	b.ReportMetric(float64(m)*float64(passes)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}

@@ -17,6 +17,7 @@ type failingStream struct {
 	resets    int
 	failReset bool
 	pos       int
+	batch     [1]graph.Edge
 }
 
 var errBoom = errors.New("boom")
@@ -40,6 +41,20 @@ func (f *failingStream) Next() (graph.Edge, error) {
 	e := f.edges[f.pos]
 	f.pos++
 	return e, nil
+}
+
+func (f *failingStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	// Deliver one edge per batch so the failure position is exact.
+	e, err := f.Next()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > 0 {
+		buf[0] = e
+		return buf[:1], nil
+	}
+	f.batch[0] = e
+	return f.batch[:], nil
 }
 
 func (f *failingStream) Len() (int, bool) { return len(f.edges), true }
@@ -114,6 +129,18 @@ func (s *truncatedStream) Next() (graph.Edge, error) {
 	e := s.edges[s.pos]
 	s.pos++
 	return e, nil
+}
+func (s *truncatedStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	if s.pos >= len(s.edges) {
+		return nil, stream.ErrEndOfPass
+	}
+	end := len(s.edges)
+	if len(buf) > 0 && s.pos+len(buf) < end {
+		end = s.pos + len(buf)
+	}
+	batch := s.edges[s.pos:end]
+	s.pos = end
+	return batch, nil
 }
 func (s *truncatedStream) Len() (int, bool) { return s.claimed, true }
 

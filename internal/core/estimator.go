@@ -12,10 +12,10 @@ import (
 // instance is the state of one of the ℓ degree-proportional estimator
 // instances of Algorithm 2.
 type instance struct {
-	edge   graph.Edge
+	edge    graph.Edge
 	edgeDeg int
-	light  int
-	other  int
+	light   int
+	other   int
 	// Pass 3 state: a size-1 reservoir over the neighbors of the light
 	// endpoint.
 	seen int64
@@ -31,6 +31,11 @@ type instance struct {
 // Estimator runs the main six-pass algorithm (Algorithm 2 + Algorithm 3) on
 // an edge stream. Create one with NewEstimator and call Run; an Estimator is
 // single-use.
+//
+// The per-edge hot loops of passes 2–6 use the dense sorted structures of the
+// graph package (SortedCounter, VertexGroups, EdgeIndex) instead of hash
+// maps, and consume the stream in batches; the estimate for a fixed seed is
+// deterministic.
 type Estimator struct {
 	cfg   Config
 	rng   *sampling.RNG
@@ -92,18 +97,16 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Pass 2: degrees of the endpoints of R. -----
-	vertexDeg := make(map[int]int)
+	endpoints := make([]int, 0, 2*len(R))
 	for _, e := range R {
-		vertexDeg[e.U] = 0
-		vertexDeg[e.V] = 0
+		endpoints = append(endpoints, e.U, e.V)
 	}
-	est.meter.Charge(int64(len(vertexDeg)) * stream.WordsPerCounter)
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if _, ok := vertexDeg[e.U]; ok {
-			vertexDeg[e.U]++
-		}
-		if _, ok := vertexDeg[e.V]; ok {
-			vertexDeg[e.V]++
+	vertexDeg := graph.NewSortedCounter(endpoints)
+	est.meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			vertexDeg.Inc(e.U)
+			vertexDeg.Inc(e.V)
 		}
 		return nil
 	}); err != nil {
@@ -113,9 +116,11 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	edgeDegs := make([]int64, len(R))
 	var dR int64
 	for i, e := range R {
-		de := vertexDeg[e.U]
-		if vertexDeg[e.V] < de {
-			de = vertexDeg[e.V]
+		du, _ := vertexDeg.Get(e.U)
+		dv, _ := vertexDeg.Get(e.V)
+		de := du
+		if dv < de {
+			de = dv
 		}
 		edgeDegs[i] = int64(de)
 		dR += int64(de)
@@ -135,20 +140,24 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	instances := make([]*instance, l)
-	lightIndex := make(map[int][]*instance)
+	instances := make([]instance, l)
+	lights := make([]int, l)
 	for i := 0; i < l; i++ {
 		idx := cum.Sample(est.rng)
 		e := R[idx]
-		inst := &instance{edge: e, edgeDeg: int(edgeDegs[idx])}
-		if vertexDeg[e.U] <= vertexDeg[e.V] {
+		inst := &instances[i]
+		inst.edge = e
+		inst.edgeDeg = int(edgeDegs[idx])
+		du, _ := vertexDeg.Get(e.U)
+		dv, _ := vertexDeg.Get(e.V)
+		if du <= dv {
 			inst.light, inst.other = e.U, e.V
 		} else {
 			inst.light, inst.other = e.V, e.U
 		}
-		instances[i] = inst
-		lightIndex[inst.light] = append(lightIndex[inst.light], inst)
+		lights[i] = inst.light
 	}
+	lightGroups := graph.NewVertexGroups(lights)
 	est.meter.Charge(int64(l) * 6 * stream.WordsPerScalar)
 	if est.overBudget() {
 		res.Aborted = true
@@ -158,15 +167,13 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Pass 3: uniform neighbor of the light endpoint, per instance. -----
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if insts, ok := lightIndex[e.U]; ok {
-			for _, inst := range insts {
-				inst.offerNeighbor(e.V, est.rng)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			for _, idx := range lightGroups.Lookup(e.U) {
+				instances[idx].offerNeighbor(e.V, est.rng)
 			}
-		}
-		if insts, ok := lightIndex[e.V]; ok {
-			for _, inst := range insts {
-				inst.offerNeighbor(e.U, est.rng)
+			for _, idx := range lightGroups.Lookup(e.V) {
+				instances[idx].offerNeighbor(e.U, est.rng)
 			}
 		}
 		return nil
@@ -175,30 +182,32 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Pass 4: closure checks and apex degrees. -----
-	closure := make(map[graph.Edge][]*instance)
-	apexDeg := make(map[int]int)
-	for _, inst := range instances {
+	var closureKeys []graph.Edge
+	var closureInst []int32
+	var apexes []int
+	for i := range instances {
+		inst := &instances[i]
 		if !inst.hasW || inst.w == inst.other {
 			inst.hasW = false
 			continue
 		}
-		key := graph.NewEdge(inst.other, inst.w)
-		closure[key] = append(closure[key], inst)
-		apexDeg[inst.w] = 0
+		closureKeys = append(closureKeys, graph.NewEdge(inst.other, inst.w))
+		closureInst = append(closureInst, int32(i))
+		apexes = append(apexes, inst.w)
 	}
-	est.meter.Charge(int64(len(closure))*(stream.WordsPerEdge+stream.WordsPerScalar) +
-		int64(len(apexDeg))*stream.WordsPerCounter)
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if insts, ok := closure[e.Normalize()]; ok {
-			for _, inst := range insts {
-				inst.closed = true
+	closure := graph.NewEdgeIndex(closureKeys)
+	apexDeg := graph.NewSortedCounter(apexes)
+	est.meter.Charge(int64(closure.Keys())*(stream.WordsPerEdge+stream.WordsPerScalar) +
+		int64(apexDeg.Len())*stream.WordsPerCounter)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			if items := closure.Lookup(e.Normalize()); items != nil {
+				for _, it := range items {
+					instances[closureInst[it]].closed = true
+				}
 			}
-		}
-		if _, ok := apexDeg[e.U]; ok {
-			apexDeg[e.U]++
-		}
-		if _, ok := apexDeg[e.V]; ok {
-			apexDeg[e.V]++
+			apexDeg.Inc(e.U)
+			apexDeg.Inc(e.V)
 		}
 		return nil
 	}); err != nil {
@@ -206,7 +215,8 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// Collect the discovered triangles.
-	for _, inst := range instances {
+	for i := range instances {
+		inst := &instances[i]
 		if inst.closed {
 			inst.tri = graph.NewTriangle(inst.edge.U, inst.edge.V, inst.w)
 			res.TrianglesFound++
@@ -215,10 +225,10 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 
 	// Degree lookup covering both R endpoints and apex vertices.
 	degreeOf := func(v int) (int, bool) {
-		if d, ok := vertexDeg[v]; ok {
+		if d, ok := vertexDeg.Get(v); ok {
 			return d, true
 		}
-		if d, ok := apexDeg[v]; ok {
+		if d, ok := apexDeg.Get(v); ok {
 			return d, true
 		}
 		return 0, false
@@ -237,7 +247,8 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 
 	// ----- Final estimate. -----
 	values := make([]float64, len(instances))
-	for i, inst := range instances {
+	for i := range instances {
+		inst := &instances[i]
 		y := 0.0
 		if inst.closed {
 			switch cfg.Rule {
@@ -290,30 +301,32 @@ func (est *Estimator) sampleUniformEdges(src stream.Stream, m, r int) ([]graph.E
 	}
 	pos := 0
 	next := 0
-	for next < r {
-		e, err := src.Next()
-		if err == stream.ErrEndOfPass {
-			return nil, fmt.Errorf("core: stream ended at %d edges, expected %d", pos, m)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for next < r && positions[next] == pos {
-			sample[next] = e.Normalize()
-			next++
-		}
-		pos++
-	}
-	// Drain the rest of the pass so that pass accounting stays honest (a pass
-	// is a full scan in the streaming model).
 	for {
-		_, err := src.Next()
+		batch, err := src.NextBatch(nil)
 		if err == stream.ErrEndOfPass {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
+		// Collect the sampled positions from this batch; once the sample is
+		// full, later batches merely drain the pass so that pass accounting
+		// stays honest (a pass is a full scan in the streaming model).
+		if next < r {
+			for _, e := range batch {
+				for next < r && positions[next] == pos {
+					sample[next] = e.Normalize()
+					next++
+				}
+				pos++
+				if next >= r {
+					break
+				}
+			}
+		}
+	}
+	if next < r {
+		return nil, fmt.Errorf("core: stream ended at %d edges, expected %d", pos, m)
 	}
 	return sample, nil
 }

@@ -282,9 +282,12 @@ type hiddenLengthStream struct {
 	inner stream.Stream
 }
 
-func (h *hiddenLengthStream) Reset() error             { return h.inner.Reset() }
+func (h *hiddenLengthStream) Reset() error              { return h.inner.Reset() }
 func (h *hiddenLengthStream) Next() (graph.Edge, error) { return h.inner.Next() }
-func (h *hiddenLengthStream) Len() (int, bool)          { return 0, false }
+func (h *hiddenLengthStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	return h.inner.NextBatch(buf)
+}
+func (h *hiddenLengthStream) Len() (int, bool) { return 0, false }
 
 func TestEstimatorBookAblationVariance(t *testing.T) {
 	// §1.2: on the book graph, counting incident triangles (RuleNone) from a

@@ -86,15 +86,17 @@ func IdealEstimator(src stream.Stream, oracle DegreeOracle, cfg Config, k int) (
 	meter.Charge(int64(k) * (stream.WordsPerEdge + 4*stream.WordsPerScalar))
 
 	var dE int64
-	m, err := stream.ForEach(counter, func(e graph.Edge) error {
-		du, dv := oracle.Degree(e.U), oracle.Degree(e.V)
-		de := du
-		if dv < du {
-			de = dv
-		}
-		dE += int64(de)
-		for _, inst := range instances {
-			inst.reservoir.Offer(e, float64(de))
+	m, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			du, dv := oracle.Degree(e.U), oracle.Degree(e.V)
+			de := du
+			if dv < du {
+				de = dv
+			}
+			dE += int64(de)
+			for _, inst := range instances {
+				inst.reservoir.Offer(e, float64(de))
+			}
 		}
 		return nil
 	})
@@ -103,9 +105,11 @@ func IdealEstimator(src stream.Stream, oracle DegreeOracle, cfg Config, k int) (
 	}
 	res.EdgesInStream = m
 
-	// Fix each instance's sampled edge and light endpoint.
-	lightIndex := make(map[int][]*idealInstance)
-	for _, inst := range instances {
+	// Fix each instance's sampled edge and light endpoint. Instances are
+	// grouped by light endpoint for the per-edge lookups of pass 2.
+	var active []int32
+	var lightVerts []int
+	for i, inst := range instances {
 		e, ok := inst.reservoir.Value()
 		if !ok {
 			continue // empty stream or all-zero degrees
@@ -117,19 +121,19 @@ func IdealEstimator(src stream.Stream, oracle DegreeOracle, cfg Config, k int) (
 		} else {
 			inst.light, inst.other, inst.edgeDeg = e.V, e.U, dv
 		}
-		lightIndex[inst.light] = append(lightIndex[inst.light], inst)
+		active = append(active, int32(i))
+		lightVerts = append(lightVerts, inst.light)
 	}
+	lightGroups := graph.NewVertexGroups(lightVerts)
 
 	// Pass 2: uniform neighbor of the light endpoint, per instance.
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if insts, ok := lightIndex[e.U]; ok {
-			for _, inst := range insts {
-				inst.neighbor.Offer(e.V)
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			for _, idx := range lightGroups.Lookup(e.U) {
+				instances[active[idx]].neighbor.Offer(e.V)
 			}
-		}
-		if insts, ok := lightIndex[e.V]; ok {
-			for _, inst := range insts {
-				inst.neighbor.Offer(e.U)
+			for _, idx := range lightGroups.Lookup(e.V) {
+				instances[active[idx]].neighbor.Offer(e.U)
 			}
 		}
 		return nil
@@ -138,21 +142,23 @@ func IdealEstimator(src stream.Stream, oracle DegreeOracle, cfg Config, k int) (
 	}
 
 	// Pass 3: closure checks.
-	closure := make(map[graph.Edge][]*idealInstance)
-	for _, inst := range instances {
+	var closureKeys []graph.Edge
+	var closureInst []int32
+	for i, inst := range instances {
 		w, ok := inst.neighbor.Value()
 		if !ok || w == inst.other {
 			continue
 		}
 		inst.w, inst.hasW = w, true
-		key := graph.NewEdge(inst.other, w)
-		closure[key] = append(closure[key], inst)
+		closureKeys = append(closureKeys, graph.NewEdge(inst.other, w))
+		closureInst = append(closureInst, int32(i))
 	}
-	meter.Charge(int64(len(closure)) * (stream.WordsPerEdge + stream.WordsPerScalar))
-	if _, err := stream.ForEach(counter, func(e graph.Edge) error {
-		if insts, ok := closure[e.Normalize()]; ok {
-			for _, inst := range insts {
-				inst.closed = true
+	closure := graph.NewEdgeIndex(closureKeys)
+	meter.Charge(int64(closure.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
+	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			for _, it := range closure.Lookup(e.Normalize()) {
+				instances[closureInst[it]].closed = true
 			}
 		}
 		return nil

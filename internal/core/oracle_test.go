@@ -87,11 +87,11 @@ func TestIdealEstimatorAccuracy(t *testing.T) {
 	for name, g := range graphs {
 		truth := float64(g.TriangleCount())
 		var sum float64
-		trials := 8
+		trials := 12
 		for i := 0; i < trials; i++ {
 			cfg := DefaultConfig(0.2, g.Degeneracy(), g.TriangleCount())
 			cfg.Seed = uint64(100 + i)
-			res, err := IdealEstimator(stream.FromGraphShuffled(g, uint64(i+1)), NewGraphOracle(g), cfg, 600)
+			res, err := IdealEstimator(stream.FromGraphShuffled(g, uint64(i+1)), NewGraphOracle(g), cfg, 1000)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"testing"
+
+	"degentri/internal/gen"
+)
+
+// BenchmarkRunTrialsSequential measures the trial harness with one worker.
+func BenchmarkRunTrialsSequential(b *testing.B) {
+	benchmarkRunTrials(b, 1)
+}
+
+// BenchmarkRunTrialsParallel measures the trial harness with the default
+// worker pool (one worker per CPU).
+func BenchmarkRunTrialsParallel(b *testing.B) {
+	benchmarkRunTrials(b, 0)
+}
+
+func benchmarkRunTrials(b *testing.B, workers int) {
+	b.Helper()
+	w := NewWorkload("pref-attach-k4", gen.HolmeKim(4000, 4, 0.7, 101), 14)
+	run := CoreRunner(w, DefaultCoreConfig(w, 0.1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrialsWorkers(run, 8, float64(w.T), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 func TestTableRendering(t *testing.T) {
 	tab := NewTable("T1", "A test table", "a", "b")
 	tab.AddRow("1", "2")
-	tab.AddRow("3") // short row gets padded
+	tab.AddRow("3")           // short row gets padded
 	tab.AddRow("4", "5", "6") // long row gets truncated
 	tab.AddNote("note %d", 7)
 	md := tab.Markdown()

@@ -262,4 +262,3 @@ func clamp(v, lo, hi int) int {
 	}
 	return v
 }
-

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"degentri/internal/core"
+	"degentri/internal/gen"
+)
+
+// TestRunTrialsParallelMatchesSequential checks the bit-identity contract of
+// the worker pool: identical TrialStats (including floating-point sums, which
+// are order-sensitive) for any worker count.
+func TestRunTrialsParallelMatchesSequential(t *testing.T) {
+	w := NewWorkload("pref-attach-k4", gen.HolmeKim(600, 4, 0.7, 101), 14)
+	run := CoreRunner(w, DefaultCoreConfig(w, 0.1))
+	truth := float64(w.T)
+	trials := 9
+
+	sequential, err := RunTrialsWorkers(run, trials, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 0} {
+		parallel, err := RunTrialsWorkers(run, trials, truth, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Errorf("workers=%d: stats differ from sequential:\nseq: %+v\npar: %+v",
+				workers, sequential, parallel)
+		}
+	}
+	// The default entry point must agree as well.
+	viaDefault, err := RunTrials(run, trials, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sequential, viaDefault) {
+		t.Errorf("RunTrials differs from sequential:\nseq: %+v\ngot: %+v", sequential, viaDefault)
+	}
+}
+
+// TestRunTrialsErrorReporting checks that the lowest failing trial index is
+// the one reported, matching the sequential contract.
+func TestRunTrialsErrorReporting(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(trial int) (core.Result, error) {
+		if trial >= 3 {
+			return core.Result{}, boom
+		}
+		return core.Result{Estimate: float64(trial)}, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunTrialsWorkers(run, 8, 1, workers)
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		want := "exp: trial 3: boom"
+		if err.Error() != want {
+			t.Errorf("workers=%d: err = %q, want %q", workers, err.Error(), want)
+		}
+	}
+}

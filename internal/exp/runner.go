@@ -2,6 +2,8 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"degentri/internal/core"
 	"degentri/internal/sampling"
@@ -10,35 +12,87 @@ import (
 // TrialStats aggregates the outcomes of repeated runs of one estimator on one
 // workload.
 type TrialStats struct {
-	Trials        int
-	Truth         float64
-	MeanEstimate  float64
-	MedianRelErr  float64
-	MeanRelErr    float64
-	P90RelErr     float64
-	MeanSpace     float64
-	MaxSpace      int64
-	Passes        int
+	Trials             int
+	Truth              float64
+	MeanEstimate       float64
+	MedianRelErr       float64
+	MeanRelErr         float64
+	P90RelErr          float64
+	MeanSpace          float64
+	MaxSpace           int64
+	Passes             int
 	MeanEstimateRelErr float64
 }
 
-// Runner produces one estimator result per trial.
+// Runner produces one estimator result per trial. Trials are independent:
+// RunTrials may invoke the runner from multiple goroutines concurrently (one
+// call per trial index), so a Runner must not share mutable state between
+// calls — build a fresh stream, RNG, and estimator per trial, as every
+// runner in this package does.
 type Runner func(trial int) (core.Result, error)
 
 // RunTrials executes the runner the given number of times and aggregates
-// relative errors and space usage against the known ground truth.
+// relative errors and space usage against the known ground truth. Trials run
+// on a bounded worker pool (one worker per CPU, capped at the trial count);
+// the aggregation is performed sequentially in trial order afterwards, so the
+// returned statistics are bit-identical to a sequential run regardless of
+// worker count.
 func RunTrials(run Runner, trials int, truth float64) (TrialStats, error) {
+	return RunTrialsWorkers(run, trials, truth, 0)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit worker count; workers <= 0
+// selects the default (min(GOMAXPROCS, trials)), and workers == 1 degrades
+// to a plain sequential loop.
+func RunTrialsWorkers(run Runner, trials int, truth float64, workers int) (TrialStats, error) {
 	if trials < 1 {
 		return TrialStats{}, fmt.Errorf("exp: trials must be positive")
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	results := make([]core.Result, trials)
+	errs := make([]error, trials)
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			results[i], errs[i] = run(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = run(i)
+				}
+			}()
+		}
+		for i := 0; i < trials; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Sequential aggregation in trial order: floating-point sums and maxima
+	// accumulate exactly as in a sequential run.
 	stats := TrialStats{Trials: trials, Truth: truth}
 	var relErrs []float64
 	var estimates []float64
 	for i := 0; i < trials; i++ {
-		res, err := run(i)
-		if err != nil {
-			return stats, fmt.Errorf("exp: trial %d: %w", i, err)
+		if errs[i] != nil {
+			return stats, fmt.Errorf("exp: trial %d: %w", i, errs[i])
 		}
+		res := results[i]
 		relErrs = append(relErrs, sampling.RelativeError(res.Estimate, truth))
 		estimates = append(estimates, res.Estimate)
 		stats.MeanSpace += float64(res.SpaceWords)

@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"degentri/internal/graph"
 	"degentri/internal/sampling"
@@ -60,11 +61,20 @@ func ErdosRenyiGNM(n, m int, seed uint64) *graph.Graph {
 	}
 	rng := sampling.NewRNG(seed)
 	b := graph.NewBuilder(n)
-	for b.NumEdges() < m {
+	// Track distinctness here instead of polling b.NumEdges() per draw: the
+	// builder dedups lazily (sort+compact), so NumEdges in a tight loop
+	// would re-sort the accumulated edges every iteration.
+	seen := make(map[int64]struct{}, m)
+	for len(seen) < m {
 		u := rng.Intn(n)
 		v := rng.Intn(n)
 		if u != v {
-			b.AddEdge(u, v)
+			e := graph.NewEdge(u, v)
+			key := int64(e.U)<<32 | int64(e.V)
+			if _, ok := seen[key]; !ok {
+				seen[key] = struct{}{}
+				b.AddEdge(u, v)
+			}
 		}
 	}
 	return b.Build()
@@ -91,16 +101,20 @@ func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
 			endpoints = append(endpoints, u, v)
 		}
 	}
-	targets := make(map[int]struct{}, k)
+	// Targets are collected in draw order (k is small, so the dedup is a
+	// linear scan): iterating a set here would feed map iteration order back
+	// into the endpoint list and make the generated graph nondeterministic
+	// for a fixed seed.
+	targets := make([]int, 0, k)
 	for v := k + 1; v < n; v++ {
-		for key := range targets {
-			delete(targets, key)
-		}
+		targets = targets[:0]
 		for len(targets) < k {
 			t := endpoints[rng.Intn(len(endpoints))]
-			targets[t] = struct{}{}
+			if !slices.Contains(targets, t) {
+				targets = append(targets, t)
+			}
 		}
-		for t := range targets {
+		for _, t := range targets {
 			b.AddEdge(v, t)
 			endpoints = append(endpoints, v, t)
 		}

@@ -1,0 +1,61 @@
+package graph_test
+
+import (
+	"testing"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+)
+
+// benchGraph is a preferential-attachment graph large enough that the build
+// cost is dominated by sorting and CSR fill, not allocation noise.
+func benchGraphEdges(b *testing.B) (int, []graph.Edge) {
+	b.Helper()
+	g := gen.HolmeKim(20000, 8, 0.7, 7)
+	edges := make([]graph.Edge, g.NumEdges())
+	copy(edges, g.Edges())
+	return g.NumVertices(), edges
+}
+
+// BenchmarkGraphBuild measures Builder.Build from a pre-sorted edge list
+// (the common case: re-building from another graph's canonical edge order).
+func BenchmarkGraphBuild(b *testing.B) {
+	n, edges := benchGraphEdges(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.FromEdges(n, edges)
+		if g.NumEdges() != len(edges) {
+			b.Fatal("edge count mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkGraphBuildUnsorted measures Builder.Build from a reversed edge
+// list, forcing the sort+dedup path.
+func BenchmarkGraphBuildUnsorted(b *testing.B) {
+	n, edges := benchGraphEdges(b)
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.FromEdges(n, edges)
+		if g.NumEdges() != len(edges) {
+			b.Fatal("edge count mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkTriangleCount measures the exact Chiba–Nishizeki-style counter on
+// the CSR graph (the ground-truth cost every experiment pays).
+func BenchmarkTriangleCount(b *testing.B) {
+	g := gen.HolmeKim(20000, 8, 0.7, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.TriangleCount() == 0 {
+			b.Fatal("no triangles")
+		}
+	}
+}

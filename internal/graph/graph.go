@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -22,9 +23,15 @@ type Graph struct {
 // Builder accumulates edges and produces a Graph. Duplicate edges and self
 // loops are dropped (the model in the paper is a simple graph given as a list
 // of unrepeated edges; builders tolerate dirty input for convenience).
+//
+// Edges are appended to a slice and sorted+deduplicated lazily (on Build or
+// NumEdges), which makes AddEdge a few nanoseconds instead of a hash-map
+// insert. The working memory is proportional to the number of AddEdge calls
+// until the next dedup, not the number of distinct edges.
 type Builder struct {
-	n     int
-	edges map[Edge]struct{}
+	n      int
+	edges  []Edge
+	sorted bool // edges is sorted and duplicate-free
 }
 
 // NewBuilder returns a Builder for a graph with at least n vertices. The
@@ -33,7 +40,7 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		n = 0
 	}
-	return &Builder{n: n, edges: make(map[Edge]struct{})}
+	return &Builder{n: n, sorted: true}
 }
 
 // AddEdge adds the undirected edge {u, v}. Self loops and duplicates are
@@ -49,7 +56,18 @@ func (b *Builder) AddEdge(u, v int) {
 	if e.V >= b.n {
 		b.n = e.V + 1
 	}
-	b.edges[e] = struct{}{}
+	// Appending in already-sorted order (the common case when re-building
+	// from another graph's edge list) keeps the slice dedup-free for free.
+	if b.sorted && len(b.edges) > 0 {
+		last := b.edges[len(b.edges)-1]
+		if e == last {
+			return
+		}
+		if lessEdges(e, last) {
+			b.sorted = false
+		}
+	}
+	b.edges = append(b.edges, e)
 }
 
 // AddEdges adds all edges in the slice.
@@ -59,22 +77,46 @@ func (b *Builder) AddEdges(edges []Edge) {
 	}
 }
 
-// NumEdges reports the number of distinct edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
-
-// Build finalizes the builder into an immutable Graph.
-func (b *Builder) Build() *Graph {
-	edges := make([]Edge, 0, len(b.edges))
-	for e := range b.edges {
-		edges = append(edges, e)
+// dedup sorts the accumulated edges lexicographically and removes duplicates
+// in place.
+func (b *Builder) dedup() {
+	if b.sorted {
+		return
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+	slices.SortFunc(b.edges, compareEdges)
+	b.edges = slices.Compact(b.edges)
+	b.sorted = true
+}
+
+// NumEdges reports the number of distinct edges added so far.
+func (b *Builder) NumEdges() int {
+	b.dedup()
+	return len(b.edges)
+}
+
+// Build finalizes the builder into an immutable Graph. The builder remains
+// usable afterwards.
+func (b *Builder) Build() *Graph {
+	b.dedup()
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
 	return fromSortedDistinctEdges(b.n, edges)
+}
+
+// lessEdges reports whether a sorts strictly before b lexicographically.
+func lessEdges(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// compareEdges is the lexicographic edge order as a three-way comparison.
+func compareEdges(a, b Edge) int {
+	if a.U != b.U {
+		return a.U - b.U
+	}
+	return a.V - b.V
 }
 
 // FromEdges builds a graph directly from an edge list. Duplicates and self
@@ -102,15 +144,16 @@ func fromSortedDistinctEdges(n int, edges []Edge) *Graph {
 	}
 	cursor := make([]int, n)
 	copy(cursor, g.offsets[:n])
+	// Filling in (U,V)-sorted normalized edge order leaves every neighbor
+	// list sorted without a per-vertex sort: vertex v first receives its
+	// smaller neighbors u < v (one per edge {u,v}, in increasing u because
+	// the list is sorted by U), then its larger neighbors w > v (in
+	// increasing w because edges with U = v are sorted by V).
 	for _, e := range edges {
 		g.neigh[cursor[e.U]] = e.V
 		cursor[e.U]++
 		g.neigh[cursor[e.V]] = e.U
 		cursor[e.V]++
-	}
-	for v := 0; v < n; v++ {
-		nb := g.neigh[g.offsets[v]:g.offsets[v+1]]
-		sort.Ints(nb)
 	}
 	return g
 }

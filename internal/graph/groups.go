@@ -1,0 +1,341 @@
+package graph
+
+import "slices"
+
+// This file provides the small dense lookup structures the streaming
+// estimators use in their per-edge hot loops in place of hash maps: a sorted
+// key array with an optional direct-index rank table (SortedCounter),
+// vertex-keyed item groups (VertexGroups) and edge-keyed item groups
+// (EdgeIndex), the latter two in the same offsets+items CSR layout as Graph
+// itself. Vertex IDs are dense integers throughout this repository, so the
+// rank table — rank[v] = position of v among the sorted keys, plus one —
+// usually applies and a lookup is a single bounds-checked array read; when
+// the ID space is too sparse for a table the structures fall back to binary
+// search over the sorted keys.
+
+// rankTableLimit bounds the direct-index rank table: the table covers
+// [0, maxKey] and is built whenever that range stays within a flat 8M-entry
+// (32 MB) budget — an int32 per possible vertex is cheap next to the O(n+m)
+// graph itself, and the O(1) lookup beats binary search by an order of
+// magnitude in the per-edge loops. Beyond the budget (sparse or huge ID
+// spaces), lookups binary-search the sorted keys.
+const rankTableLimit = 1 << 23
+
+// buildRank returns the rank table for the sorted distinct keys, or nil when
+// the key range is too sparse.
+func buildRank(sorted []int) []int32 {
+	if len(sorted) == 0 || sorted[0] < 0 {
+		return nil
+	}
+	maxKey := sorted[len(sorted)-1]
+	if maxKey+1 > rankTableLimit {
+		return nil
+	}
+	rank := make([]int32, maxKey+1)
+	for i, v := range sorted {
+		rank[v] = int32(i) + 1
+	}
+	return rank
+}
+
+// FindSorted returns the index of v in the sorted slice a, or -1 when v is
+// absent.
+func FindSorted(a []int, v int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// findRanked locates v using the rank table when present, falling back to
+// binary search.
+func findRanked(sorted []int, rank []int32, v int) int {
+	if rank != nil {
+		if v < 0 || v >= len(rank) {
+			return -1
+		}
+		return int(rank[v]) - 1
+	}
+	return FindSorted(sorted, v)
+}
+
+// SortedCounter is a set of integer keys fixed at construction with one
+// counter per key — the dense replacement for a map[int]int whose key set is
+// known up front (e.g. "degrees of the endpoints of the sampled edges").
+type SortedCounter struct {
+	keys   []int
+	counts []int
+	rank   []int32
+}
+
+// NewSortedCounter builds a counter over the distinct values of keys, which
+// is consumed (sorted in place).
+func NewSortedCounter(keys []int) *SortedCounter {
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	return &SortedCounter{keys: keys, counts: make([]int, len(keys)), rank: buildRank(keys)}
+}
+
+// Len returns the number of distinct keys.
+func (c *SortedCounter) Len() int { return len(c.keys) }
+
+// Inc increments the counter of v if v is a tracked key.
+func (c *SortedCounter) Inc(v int) {
+	// Inlined fast path: one bounds-checked read of the rank table.
+	if c.rank != nil {
+		if uint(v) < uint(len(c.rank)) {
+			if r := c.rank[v]; r > 0 {
+				c.counts[r-1]++
+			}
+		}
+		return
+	}
+	if i := FindSorted(c.keys, v); i >= 0 {
+		c.counts[i]++
+	}
+}
+
+// Get returns the count of v and whether v is a tracked key.
+func (c *SortedCounter) Get(v int) (int, bool) {
+	i := findRanked(c.keys, c.rank, v)
+	if i < 0 {
+		return 0, false
+	}
+	return c.counts[i], true
+}
+
+// VertexGroups maps vertices to groups of item indices, CSR style: the
+// distinct vertices are sorted in verts, and the items of verts[i] are
+// items[offsets[i]:offsets[i+1]], preserving the order in which the pairs
+// were given. It replaces a map[int][]T built once and probed per stream
+// edge.
+type VertexGroups struct {
+	verts   []int
+	offsets []int32
+	items   []int32
+	rank    []int32
+}
+
+// NewVertexGroups groups items 0..len(vertexOf)-1 by their vertex: vertexOf[i]
+// is the vertex of item i. Items of the same vertex keep their relative
+// order, matching the append order of the map-based construction it
+// replaces.
+func NewVertexGroups(vertexOf []int) *VertexGroups {
+	distinct := make([]int, len(vertexOf))
+	copy(distinct, vertexOf)
+	slices.Sort(distinct)
+	distinct = slices.Compact(distinct)
+
+	g := &VertexGroups{
+		verts:   distinct,
+		offsets: make([]int32, len(distinct)+1),
+		items:   make([]int32, len(vertexOf)),
+		rank:    buildRank(distinct),
+	}
+	for _, v := range vertexOf {
+		g.offsets[findRanked(distinct, g.rank, v)+1]++
+	}
+	for i := 0; i < len(distinct); i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	cursor := make([]int32, len(distinct))
+	copy(cursor, g.offsets[:len(distinct)])
+	for i, v := range vertexOf {
+		slot := findRanked(distinct, g.rank, v)
+		g.items[cursor[slot]] = int32(i)
+		cursor[slot]++
+	}
+	return g
+}
+
+// Groups returns the number of distinct vertices.
+func (g *VertexGroups) Groups() int { return len(g.verts) }
+
+// Lookup returns the item indices grouped under v (nil when v is not a key).
+// The returned slice aliases internal storage and must not be modified.
+func (g *VertexGroups) Lookup(v int) []int32 {
+	var i int
+	if g.rank != nil {
+		if uint(v) >= uint(len(g.rank)) {
+			return nil
+		}
+		i = int(g.rank[v]) - 1
+	} else {
+		i = FindSorted(g.verts, v)
+	}
+	if i < 0 {
+		return nil
+	}
+	return g.items[g.offsets[i]:g.offsets[i+1]]
+}
+
+// EdgeIndex maps normalized edges to groups of item indices, in the same
+// CSR layout as VertexGroups. Edge keys are packed into uint64 (U in the
+// high half) when both endpoints fit in 32 bits — always the case for the
+// dense vertex IDs used here — so a lookup is a binary search over machine
+// words. It replaces a map[Edge][]T probed once per stream edge (closure
+// checks).
+type EdgeIndex struct {
+	packed  []uint64 // sorted packed keys; nil when some endpoint overflows
+	keys    []Edge   // sorted keys, only populated when packed == nil
+	offsets []int32
+	items   []int32
+	// Open-addressing hash over the packed keys (power-of-two table, linear
+	// probing): table[slot] is the key's index in packed, plus one; 0 marks
+	// an empty slot. Built only in the packed case.
+	table []int32
+	shift uint
+}
+
+// hashPacked mixes a packed edge key into a table slot (Fibonacci hashing).
+func hashPacked(key uint64, shift uint) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> shift
+}
+
+// edgePacks reports whether both endpoints fit in 32 bits, i.e. the edge can
+// be packed into one comparable word.
+func edgePacks(e Edge) bool {
+	return uint64(e.U) <= 0xffffffff && uint64(e.V) <= 0xffffffff
+}
+
+// edgeItem pairs an edge key with the item it belongs to.
+type edgeItem struct {
+	key  Edge
+	item int32
+}
+
+// packedItem pairs a packed edge key with its item for the fast sort path.
+type packedItem struct {
+	key  uint64
+	item int32
+}
+
+// NewEdgeIndex groups items by their (normalized) edge key: edgeOf[i] is the
+// key of item i. Items with equal keys keep their relative order (the sort
+// tiebreaks on the item index, which reproduces insertion order).
+func NewEdgeIndex(edgeOf []Edge) *EdgeIndex {
+	packable := true
+	for _, e := range edgeOf {
+		if !edgePacks(e.Normalize()) {
+			packable = false
+			break
+		}
+	}
+	if packable {
+		return newPackedEdgeIndex(edgeOf)
+	}
+
+	pairs := make([]edgeItem, len(edgeOf))
+	for i, e := range edgeOf {
+		pairs[i] = edgeItem{key: e.Normalize(), item: int32(i)}
+	}
+	slices.SortStableFunc(pairs, func(a, b edgeItem) int {
+		return compareEdges(a.key, b.key)
+	})
+	ix := &EdgeIndex{items: make([]int32, len(pairs))}
+	for i, p := range pairs {
+		if i == 0 || p.key != pairs[i-1].key {
+			ix.keys = append(ix.keys, p.key)
+			ix.offsets = append(ix.offsets, int32(i))
+		}
+		ix.items[i] = p.item
+	}
+	ix.offsets = append(ix.offsets, int32(len(pairs)))
+	return ix
+}
+
+// newPackedEdgeIndex is the common-case constructor: machine-word keys, a
+// cheap two-field comparison instead of an Edge comparator, and the probe
+// table for O(1) lookups.
+func newPackedEdgeIndex(edgeOf []Edge) *EdgeIndex {
+	pairs := make([]packedItem, len(edgeOf))
+	for i, e := range edgeOf {
+		n := e.Normalize()
+		pairs[i] = packedItem{key: uint64(n.U)<<32 | uint64(n.V), item: int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, b packedItem) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		return int(a.item) - int(b.item)
+	})
+
+	ix := &EdgeIndex{items: make([]int32, len(pairs))}
+	for i, p := range pairs {
+		if i == 0 || p.key != pairs[i-1].key {
+			ix.packed = append(ix.packed, p.key)
+			ix.offsets = append(ix.offsets, int32(i))
+		}
+		ix.items[i] = p.item
+	}
+	ix.offsets = append(ix.offsets, int32(len(pairs)))
+
+	// Size the hash table at ≥2× the key count for short probe runs.
+	bits := uint(2)
+	for 1<<bits < 2*len(ix.packed) {
+		bits++
+	}
+	ix.shift = 64 - bits
+	ix.table = make([]int32, 1<<bits)
+	mask := uint64(1<<bits - 1)
+	for i, key := range ix.packed {
+		slot := hashPacked(key, ix.shift)
+		for ix.table[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		ix.table[slot] = int32(i) + 1
+	}
+	return ix
+}
+
+// Keys returns the number of distinct edge keys.
+func (ix *EdgeIndex) Keys() int { return len(ix.offsets) - 1 }
+
+// Lookup returns the item indices grouped under the normalized edge e (nil
+// when e is not a key). The returned slice aliases internal storage and must
+// not be modified.
+func (ix *EdgeIndex) Lookup(e Edge) []int32 {
+	if ix.packed != nil {
+		if uint64(e.U) > 0xffffffff || uint64(e.V) > 0xffffffff {
+			return nil
+		}
+		key := uint64(e.U)<<32 | uint64(e.V)
+		mask := uint64(len(ix.table) - 1)
+		slot := hashPacked(key, ix.shift)
+		for {
+			r := ix.table[slot]
+			if r == 0 {
+				return nil
+			}
+			if ix.packed[r-1] == key {
+				return ix.items[ix.offsets[r-1]:ix.offsets[r]]
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	lo, hi := 0, len(ix.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if compareEdges(ix.keys[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ix.keys) && ix.keys[lo] == e {
+		return ix.items[ix.offsets[lo]:ix.offsets[lo+1]]
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestFindSorted(t *testing.T) {
+	a := []int{2, 5, 9, 11, 40}
+	for i, v := range a {
+		if got := FindSorted(a, v); got != i {
+			t.Errorf("FindSorted(%d) = %d, want %d", v, got, i)
+		}
+	}
+	for _, v := range []int{-3, 0, 3, 10, 41} {
+		if got := FindSorted(a, v); got != -1 {
+			t.Errorf("FindSorted(%d) = %d, want -1", v, got)
+		}
+	}
+	if FindSorted(nil, 1) != -1 {
+		t.Error("FindSorted on empty slice should return -1")
+	}
+}
+
+// sortedCounterKeys returns dense and sparse key sets: the sparse one forces
+// the binary-search fallback (no rank table).
+func sortedCounterKeys() map[string][]int {
+	sparse := []int{0, 7, rankTableLimit + 5, rankTableLimit * 3}
+	dense := []int{5, 1, 9, 5, 3, 1}
+	return map[string][]int{"dense": dense, "sparse": sparse}
+}
+
+func TestSortedCounter(t *testing.T) {
+	for name, keys := range sortedCounterKeys() {
+		orig := slices.Clone(keys)
+		c := NewSortedCounter(slices.Clone(keys))
+		distinct := slices.Clone(orig)
+		slices.Sort(distinct)
+		distinct = slices.Compact(distinct)
+		if c.Len() != len(distinct) {
+			t.Fatalf("%s: Len = %d, want %d", name, c.Len(), len(distinct))
+		}
+		for _, v := range distinct {
+			c.Inc(v)
+			c.Inc(v)
+		}
+		c.Inc(distinct[len(distinct)-1] + 1) // untracked: no-op
+		c.Inc(-1)                            // untracked: no-op
+		for _, v := range distinct {
+			if n, ok := c.Get(v); !ok || n != 2 {
+				t.Errorf("%s: Get(%d) = %d,%v, want 2,true", name, v, n, ok)
+			}
+		}
+		if _, ok := c.Get(distinct[0] - 1); ok {
+			t.Errorf("%s: Get of untracked key reported ok", name)
+		}
+	}
+}
+
+func TestVertexGroupsOrderAndLookup(t *testing.T) {
+	// Items grouped per vertex must keep insertion order.
+	vertexOf := []int{4, 2, 4, 9, 2, 4}
+	g := NewVertexGroups(vertexOf)
+	if g.Groups() != 3 {
+		t.Fatalf("Groups = %d, want 3", g.Groups())
+	}
+	want := map[int][]int32{
+		2: {1, 4},
+		4: {0, 2, 5},
+		9: {3},
+	}
+	for v, items := range want {
+		if got := g.Lookup(v); !slices.Equal(got, items) {
+			t.Errorf("Lookup(%d) = %v, want %v", v, got, items)
+		}
+	}
+	for _, v := range []int{-1, 0, 3, 10} {
+		if g.Lookup(v) != nil {
+			t.Errorf("Lookup(%d) should be nil", v)
+		}
+	}
+}
+
+func TestVertexGroupsSparseFallback(t *testing.T) {
+	big := rankTableLimit + 17
+	g := NewVertexGroups([]int{big, 3, big})
+	if !slices.Equal(g.Lookup(big), []int32{0, 2}) || !slices.Equal(g.Lookup(3), []int32{1}) {
+		t.Error("sparse VertexGroups lookups wrong")
+	}
+	if g.Lookup(big-1) != nil {
+		t.Error("sparse VertexGroups miss should be nil")
+	}
+}
+
+func TestEdgeIndex(t *testing.T) {
+	edges := []Edge{
+		NewEdge(3, 1), // item 0, key (1,3)
+		NewEdge(0, 2), // item 1
+		NewEdge(1, 3), // item 2, same key as item 0
+		{U: 9, V: 4},  // item 3, unnormalized input
+	}
+	ix := NewEdgeIndex(edges)
+	if ix.Keys() != 3 {
+		t.Fatalf("Keys = %d, want 3", ix.Keys())
+	}
+	if got := ix.Lookup(NewEdge(1, 3)); !slices.Equal(got, []int32{0, 2}) {
+		t.Errorf("Lookup(1,3) = %v, want [0 2]", got)
+	}
+	if got := ix.Lookup(NewEdge(4, 9)); !slices.Equal(got, []int32{3}) {
+		t.Errorf("Lookup(4,9) = %v, want [3]", got)
+	}
+	for _, e := range []Edge{NewEdge(0, 1), NewEdge(2, 3), {U: -1, V: 5}} {
+		if ix.Lookup(e) != nil {
+			t.Errorf("Lookup(%v) should be nil", e)
+		}
+	}
+	if NewEdgeIndex(nil).Lookup(NewEdge(0, 1)) != nil {
+		t.Error("empty index lookup should be nil")
+	}
+}
+
+func TestEdgeIndexUnpackableFallback(t *testing.T) {
+	huge := int(1) << 40
+	edges := []Edge{NewEdge(huge, 1), NewEdge(0, 2)}
+	ix := NewEdgeIndex(edges)
+	if got := ix.Lookup(NewEdge(1, huge)); !slices.Equal(got, []int32{0}) {
+		t.Errorf("Lookup(huge edge) = %v, want [0]", got)
+	}
+	if got := ix.Lookup(NewEdge(0, 2)); !slices.Equal(got, []int32{1}) {
+		t.Errorf("Lookup(0,2) = %v, want [1]", got)
+	}
+	if ix.Lookup(NewEdge(1, 2)) != nil {
+		t.Error("miss should be nil")
+	}
+}

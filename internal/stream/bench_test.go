@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"testing"
+
+	"degentri/internal/graph"
+)
+
+// benchEdges builds a synthetic edge list of the given size.
+func benchEdges(m int) []graph.Edge {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i % 1000, V: 1000 + i%997}
+	}
+	return edges
+}
+
+// benchStream returns the stream as the interface type, so the benchmark
+// measures the dispatched call the estimators actually pay for.
+func benchStream(edges []graph.Edge) Stream {
+	return NewPassCounter(FromEdges(edges))
+}
+
+// BenchmarkStreamNextPass measures a full pass using one Next call per edge
+// through the Stream interface (the pre-batching hot path).
+func BenchmarkStreamNextPass(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	s := benchStream(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, err := s.Next()
+			if err == ErrEndOfPass {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkStreamNextBatchPass measures a full pass using NextBatch, the
+// batched path every estimator now uses.
+func BenchmarkStreamNextBatchPass(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	s := benchStream(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		var sink int
+		for {
+			batch, err := s.NextBatch(nil)
+			if err == ErrEndOfPass {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += len(batch)
+		}
+		if sink != len(edges) {
+			b.Fatal("short pass")
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkForEach measures the per-edge callback pass helper.
+func BenchmarkForEach(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	s := benchStream(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int
+		if _, err := ForEach(s, func(e graph.Edge) error {
+			sum += e.U
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkForEachBatch measures the batched pass helper.
+func BenchmarkForEachBatch(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	s := benchStream(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int
+		if _, err := ForEachBatch(s, func(batch []graph.Edge) error {
+			for _, e := range batch {
+				sum += e.U
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkFileStreamPass measures a full batched pass over a text edge list,
+// parser included.
+func BenchmarkFileStreamPass(b *testing.B) {
+	edges := benchEdges(1 << 15)
+	path := b.TempDir() + "/bench-edges.txt"
+	g := graph.FromEdges(0, edges)
+	if err := WriteGraphFile(path, g, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	fs := OpenFile(path)
+	defer fs.Close()
+	m := g.NumEdges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := CountEdges(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != m {
+			b.Fatalf("pass saw %d edges, want %d", n, m)
+		}
+	}
+	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"degentri/internal/graph"
 )
@@ -14,7 +12,8 @@ import (
 // FileStream streams edges from a whitespace-separated edge-list text file:
 // one edge per line, "u v", with '#' or '%' prefixed lines treated as
 // comments. The file is re-opened (rewound) on every Reset, so a FileStream
-// uses O(1) memory regardless of graph size.
+// uses O(1) memory regardless of graph size. Lines are parsed byte-by-byte
+// without per-line allocations.
 type FileStream struct {
 	path    string
 	file    *os.File
@@ -22,6 +21,8 @@ type FileStream struct {
 	line    int
 	m       int
 	mKnown  bool
+	batch   []graph.Edge // scratch for NextBatch(nil)
+	pending error        // parse/read error to surface after a partial batch
 }
 
 // OpenFile returns a FileStream over the given edge-list file. The file is
@@ -48,6 +49,7 @@ func (f *FileStream) Reset() error {
 	f.scanner = bufio.NewScanner(f.file)
 	f.scanner.Buffer(make([]byte, 64*1024), 1<<20)
 	f.line = 0
+	f.pending = nil
 	return nil
 }
 
@@ -56,33 +58,140 @@ func (f *FileStream) Next() (graph.Edge, error) {
 	if f.scanner == nil {
 		return graph.Edge{}, ErrNoPass
 	}
+	if err := f.pending; err != nil {
+		f.pending = nil
+		return graph.Edge{}, err
+	}
 	for f.scanner.Scan() {
 		f.line++
-		text := strings.TrimSpace(f.scanner.Text())
-		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return graph.Edge{}, fmt.Errorf("stream: %s:%d: malformed edge line %q", f.path, f.line, text)
-		}
-		u, err := strconv.Atoi(fields[0])
+		e, ok, err := f.parseLine(f.scanner.Bytes())
 		if err != nil {
-			return graph.Edge{}, fmt.Errorf("stream: %s:%d: bad vertex %q: %w", f.path, f.line, fields[0], err)
+			return graph.Edge{}, err
 		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return graph.Edge{}, fmt.Errorf("stream: %s:%d: bad vertex %q: %w", f.path, f.line, fields[1], err)
+		if ok {
+			return e, nil
 		}
-		if u < 0 || v < 0 {
-			return graph.Edge{}, fmt.Errorf("stream: %s:%d: negative vertex id", f.path, f.line)
-		}
-		return graph.Edge{U: u, V: v}, nil
 	}
 	if err := f.scanner.Err(); err != nil {
 		return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", f.path, err)
 	}
 	return graph.Edge{}, ErrEndOfPass
+}
+
+// NextBatch implements Stream, filling buf (or an internal scratch buffer of
+// DefaultBatchSize edges when buf is empty). A parse or read error that
+// occurs after at least one edge was decoded is delivered on the next call,
+// so no edges are lost.
+func (f *FileStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	if f.scanner == nil {
+		return nil, ErrNoPass
+	}
+	if err := f.pending; err != nil {
+		f.pending = nil
+		return nil, err
+	}
+	if len(buf) == 0 {
+		if f.batch == nil {
+			f.batch = make([]graph.Edge, DefaultBatchSize)
+		}
+		buf = f.batch
+	}
+	n := 0
+	for n < len(buf) && f.scanner.Scan() {
+		f.line++
+		e, ok, err := f.parseLine(f.scanner.Bytes())
+		if err != nil {
+			if n == 0 {
+				return nil, err
+			}
+			f.pending = err
+			return buf[:n], nil
+		}
+		if ok {
+			buf[n] = e
+			n++
+		}
+	}
+	if n == len(buf) && n > 0 {
+		return buf[:n], nil
+	}
+	if err := f.scanner.Err(); err != nil {
+		err = fmt.Errorf("stream: reading %s: %w", f.path, err)
+		if n == 0 {
+			return nil, err
+		}
+		f.pending = err
+		return buf[:n], nil
+	}
+	if n == 0 {
+		return nil, ErrEndOfPass
+	}
+	return buf[:n], nil
+}
+
+// parseLine decodes one edge-list line. It returns ok=false for blank and
+// comment lines. The parse allocates nothing.
+func (f *FileStream) parseLine(line []byte) (graph.Edge, bool, error) {
+	i := skipSpace(line, 0)
+	if i == len(line) || line[i] == '#' || line[i] == '%' {
+		return graph.Edge{}, false, nil
+	}
+	u, i, err := f.parseVertex(line, i)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	i = skipSpace(line, i)
+	if i == len(line) {
+		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: malformed edge line %q", f.path, f.line, line)
+	}
+	v, _, err := f.parseVertex(line, i)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	if u < 0 || v < 0 {
+		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: negative vertex id", f.path, f.line)
+	}
+	return graph.Edge{U: u, V: v}, true, nil
+}
+
+// parseVertex decodes a decimal integer field starting at i, returning the
+// value and the index one past the field.
+func (f *FileStream) parseVertex(line []byte, i int) (int, int, error) {
+	start := i
+	neg := false
+	if i < len(line) && (line[i] == '-' || line[i] == '+') {
+		neg = line[i] == '-'
+		i++
+	}
+	val := 0
+	digits := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		val = val*10 + int(line[i]-'0')
+		digits++
+		i++
+	}
+	if digits == 0 || digits > 18 || (i < len(line) && !isSpace(line[i])) {
+		end := i
+		for end < len(line) && !isSpace(line[end]) {
+			end++
+		}
+		return 0, i, fmt.Errorf("stream: %s:%d: bad vertex %q: invalid syntax", f.path, f.line, line[start:end])
+	}
+	if neg {
+		val = -val
+	}
+	return val, i, nil
+}
+
+func skipSpace(line []byte, i int) int {
+	for i < len(line) && isSpace(line[i]) {
+		i++
+	}
+	return i
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
 }
 
 // Len implements Stream. The length is unknown until a full pass (or

@@ -60,6 +60,26 @@ func (s *MemoryStream) Next() (graph.Edge, error) {
 	return e, nil
 }
 
+// NextBatch implements Stream. The returned batch aliases the stream's
+// backing slice — no edges are copied — so it must not be modified. With an
+// empty buf the entire remainder of the pass is returned in one batch;
+// otherwise the batch is capped at len(buf) edges (buf itself is not used).
+func (s *MemoryStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	if !s.begun {
+		return nil, ErrNoPass
+	}
+	if s.pos >= len(s.edges) {
+		return nil, ErrEndOfPass
+	}
+	end := len(s.edges)
+	if len(buf) > 0 && s.pos+len(buf) < end {
+		end = s.pos + len(buf)
+	}
+	batch := s.edges[s.pos:end:end]
+	s.pos = end
+	return batch, nil
+}
+
 // Len implements Stream; the length of an in-memory stream is always known.
 func (s *MemoryStream) Len() (int, bool) { return len(s.edges), true }
 
@@ -95,6 +115,13 @@ func (p *PassCounter) Next() (graph.Edge, error) {
 		p.reads++
 	}
 	return e, err
+}
+
+// NextBatch implements Stream, charging the whole batch to the read counter.
+func (p *PassCounter) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	batch, err := p.inner.NextBatch(buf)
+	p.reads += int64(len(batch))
+	return batch, err
 }
 
 // Len implements Stream.

@@ -23,16 +23,38 @@ var ErrEndOfPass = io.EOF
 // ErrNoPass is returned by Next when Reset has never been called.
 var ErrNoPass = errors.New("stream: Next called before Reset")
 
+// DefaultBatchSize is the batch granularity used when a caller passes an
+// empty scratch buffer to NextBatch and the implementation has to pick one
+// (file-backed streams). In-memory streams hand out their whole remaining
+// edge slice in that case.
+const DefaultBatchSize = 4096
+
 // Stream is a multi-pass edge stream. A pass begins with Reset and ends when
-// Next returns ErrEndOfPass. The edge order within a pass is fixed for the
-// lifetime of the stream (the "arbitrary order" model): repeated passes see
-// the same sequence.
+// Next (or NextBatch) returns ErrEndOfPass. The edge order within a pass is
+// fixed for the lifetime of the stream (the "arbitrary order" model):
+// repeated passes see the same sequence.
+//
+// Next and NextBatch advance the same cursor and may be mixed freely within
+// a pass; NextBatch exists so that a full pass costs a handful of interface
+// calls instead of one per edge.
 type Stream interface {
 	// Reset begins a new pass from the first edge.
 	Reset() error
 	// Next returns the next edge of the current pass, or ErrEndOfPass when
 	// the pass is complete.
 	Next() (graph.Edge, error)
+	// NextBatch returns the next edges of the current pass. When buf is
+	// non-empty the batch holds at most len(buf) edges and implementations
+	// may use buf as scratch space; in-memory implementations instead return
+	// a slice aliasing their internal storage (zero copies). When buf is
+	// empty the implementation picks its own batch size (in-memory streams
+	// return the entire remainder of the pass in one batch).
+	//
+	// The returned batch is only valid until the next call on the stream and
+	// must not be modified. A non-empty batch is returned with a nil error;
+	// the end of the pass is reported as (nil, ErrEndOfPass) on the next
+	// call.
+	NextBatch(buf []graph.Edge) ([]graph.Edge, error)
 	// Len returns the number of edges m if known, or ok=false when the
 	// stream length is only discovered by completing a pass.
 	Len() (m int, ok bool)
@@ -40,22 +62,49 @@ type Stream interface {
 
 // ForEach runs one full pass over the stream, invoking fn for every edge.
 // It returns the number of edges seen. If fn returns a non-nil error the
-// pass stops and the error is returned.
+// pass stops and the error is returned. Iteration is batched under the hood;
+// per-edge hot paths that can work on whole slices should prefer
+// ForEachBatch.
 func ForEach(s Stream, fn func(graph.Edge) error) (int, error) {
 	if err := s.Reset(); err != nil {
 		return 0, err
 	}
 	count := 0
 	for {
-		e, err := s.Next()
+		batch, err := s.NextBatch(nil)
 		if err == ErrEndOfPass {
 			return count, nil
 		}
 		if err != nil {
 			return count, err
 		}
-		count++
-		if err := fn(e); err != nil {
+		for _, e := range batch {
+			count++
+			if err := fn(e); err != nil {
+				return count, err
+			}
+		}
+	}
+}
+
+// ForEachBatch runs one full pass over the stream, invoking fn for every
+// batch of edges. It returns the number of edges seen. The slice passed to fn
+// is only valid during the call and must not be modified or retained.
+func ForEachBatch(s Stream, fn func([]graph.Edge) error) (int, error) {
+	if err := s.Reset(); err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		batch, err := s.NextBatch(nil)
+		if err == ErrEndOfPass {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count += len(batch)
+		if err := fn(batch); err != nil {
 			return count, err
 		}
 	}
@@ -64,7 +113,7 @@ func ForEach(s Stream, fn func(graph.Edge) error) (int, error) {
 // CountEdges makes one pass over the stream and returns the number of edges.
 // It is how algorithms learn m when the source does not know its own length.
 func CountEdges(s Stream) (int, error) {
-	return ForEach(s, func(graph.Edge) error { return nil })
+	return ForEachBatch(s, func([]graph.Edge) error { return nil })
 }
 
 // Materialize makes one pass over the stream and builds the full graph. This
@@ -86,8 +135,8 @@ func Materialize(s Stream) (*graph.Graph, error) {
 // Materialize it is Θ(m) space and intended for tests and drivers.
 func Collect(s Stream) ([]graph.Edge, error) {
 	var edges []graph.Edge
-	_, err := ForEach(s, func(e graph.Edge) error {
-		edges = append(edges, e)
+	_, err := ForEachBatch(s, func(batch []graph.Edge) error {
+		edges = append(edges, batch...)
 		return nil
 	})
 	if err != nil {
