@@ -1,19 +1,24 @@
 // Command graphgen generates the synthetic graph families used by the
 // experiments and writes them as edge-list files consumable by trianglecount
-// and by any other edge-list tool.
+// and by any other edge-list tool. Outputs ending in .bex are written in the
+// binary edge format (length-prefixed int32 pairs), which parses an order of
+// magnitude faster and supports sharded parallel passes natively; -convert
+// translates an existing file between the text and binary formats.
 //
 // Usage:
 //
 //	graphgen -family wheel -n 100000 -out wheel.txt
-//	graphgen -family ba -n 50000 -k 4 -seed 7 -out ba.txt
+//	graphgen -family ba -n 50000 -k 4 -seed 7 -out ba.bex
 //	graphgen -family chunglu -n 50000 -avgdeg 8 -beta 2.5 -out cl.txt
 //	graphgen -family book -pages 10000 -out book.txt
+//	graphgen -convert ba.txt -out ba.bex
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"degentri/internal/gen"
 	"degentri/internal/graph"
@@ -22,17 +27,43 @@ import (
 
 func main() {
 	var (
-		family = flag.String("family", "wheel", "graph family: wheel, book, friendship, apollonian, grid, tri-grid, complete, ba, chunglu, gnm, star-triangles, lowerbound-ish")
-		n      = flag.Int("n", 10000, "number of vertices (or insertions/pages where noted)")
-		k      = flag.Int("k", 4, "attachment parameter / part size / triangles")
-		pages  = flag.Int("pages", 1000, "pages for the book family")
-		avgdeg = flag.Float64("avgdeg", 8, "average degree for chunglu")
-		beta   = flag.Float64("beta", 2.5, "power-law exponent for chunglu")
-		m      = flag.Int("m", 0, "edge count for gnm (default 4n)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output path (default stdout)")
+		family  = flag.String("family", "wheel", "graph family: wheel, book, friendship, apollonian, grid, tri-grid, complete, ba, chunglu, gnm, star-triangles, lowerbound-ish")
+		n       = flag.Int("n", 10000, "number of vertices (or insertions/pages where noted)")
+		k       = flag.Int("k", 4, "attachment parameter / part size / triangles")
+		pages   = flag.Int("pages", 1000, "pages for the book family")
+		avgdeg  = flag.Float64("avgdeg", 8, "average degree for chunglu")
+		beta    = flag.Float64("beta", 2.5, "power-law exponent for chunglu")
+		m       = flag.Int("m", 0, "edge count for gnm (default 4n)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output path (default stdout); .bex suffix selects the binary format")
+		convert = flag.String("convert", "", "convert this edge file (text or .bex) to -out instead of generating")
 	)
 	flag.Parse()
+
+	if *convert != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "graphgen: -convert requires -out")
+			os.Exit(2)
+		}
+		src, err := stream.OpenAuto(*convert)
+		exitOn(err)
+		defer src.Close()
+		var edges int
+		if strings.HasSuffix(strings.ToLower(*out), stream.BexExt) {
+			edges, err = stream.WriteBexFile(*out, src)
+		} else {
+			var file *os.File
+			file, err = os.Create(*out)
+			exitOn(err)
+			edges, err = stream.WriteEdgeList(file, src)
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+		}
+		exitOn(err)
+		fmt.Printf("converted %s -> %s (%d edges)\n", *convert, *out, edges)
+		return
+	}
 
 	var g *graph.Graph
 	switch *family {
@@ -69,17 +100,26 @@ func main() {
 
 	comment := fmt.Sprintf("family=%s n=%d seed=%d degeneracy=%d triangles=%d",
 		*family, g.NumVertices(), *seed, g.Degeneracy(), g.TriangleCount())
-	if *out == "" {
+	switch {
+	case *out == "":
 		if _, err := stream.WriteEdgeList(os.Stdout, stream.FromGraph(g)); err != nil {
 			fmt.Fprintln(os.Stderr, "graphgen:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "# "+comment)
 		return
+	case strings.HasSuffix(strings.ToLower(*out), stream.BexExt):
+		_, err := stream.WriteBexFile(*out, stream.FromGraph(g))
+		exitOn(err)
+	default:
+		exitOn(stream.WriteGraphFile(*out, g, comment))
 	}
-	if err := stream.WriteGraphFile(*out, g, comment); err != nil {
+	fmt.Printf("wrote %s: %s\n", *out, comment)
+}
+
+func exitOn(err error) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %s\n", *out, comment)
 }

@@ -1,9 +1,11 @@
 // Command trianglecount estimates (or exactly counts) the triangles of a
-// graph given as a whitespace-separated edge-list file.
+// graph given as a whitespace-separated edge-list file or a binary .bex file
+// (see cmd/graphgen -convert).
 //
 // Usage:
 //
 //	trianglecount -input graph.txt                      # streaming estimate, auto parameters
+//	trianglecount -input graph.bex -workers 8           # binary input, explicit shard workers
 //	trianglecount -input graph.txt -kappa 4 -guess 1e6  # streaming estimate, explicit bounds
 //	trianglecount -input graph.txt -exact               # exact count (materializes the graph)
 //	trianglecount -input graph.txt -stats               # exact structural summary
@@ -27,6 +29,7 @@ func main() {
 		guess   = flag.Int64("guess", 0, "lower-bound guess for the triangle count (0 = geometric search)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
+		workers = flag.Int("workers", 0, "shard workers per pass (0 = all cores); the estimate is identical at any setting")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -57,6 +60,7 @@ func main() {
 			TriangleGuess:    *guess,
 			Seed:             *seed,
 			SampleMultiplier: *mult,
+			Workers:          *workers,
 		})
 		exitOn(err)
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)

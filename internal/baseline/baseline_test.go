@@ -272,3 +272,35 @@ func TestBaselineSpaceOrdering(t *testing.T) {
 		t.Errorf("neighbor sampling space %d should be below exact %d", ns.SpaceWords, exact.SpaceWords)
 	}
 }
+
+// TestHeavyLightSparseVertexIDs exercises the out-of-range degree table: a
+// triangle-rich graphlet whose vertex IDs all exceed the dense-slice budget
+// (2^23), with enough occurrences to force at least one pending-buffer merge
+// path. The exact count must still come out right.
+func TestHeavyLightSparseVertexIDs(t *testing.T) {
+	base := 1 << 24
+	var edges []graph.Edge
+	// 40 triangles sharing the hub base+0 plus a chain, all at huge IDs.
+	for i := 1; i <= 40; i++ {
+		a, b := base+2*i, base+2*i+1
+		edges = append(edges, graph.Edge{U: base, V: a}, graph.Edge{U: base, V: b}, graph.Edge{U: a, V: b})
+	}
+	// A triangle-free star with enough endpoints to overflow the pending
+	// buffer mid-stream, so the sorted-merge path (non-empty existing table)
+	// runs, not just the final flush.
+	hub := base + 1<<20
+	for i := 1; i <= 40000; i++ {
+		edges = append(edges, graph.Edge{U: hub, V: hub + i})
+	}
+	src := stream.FromEdges(edges)
+	res, err := HeavyLight(src, HeavyLightConfig{SampledEdges: len(edges), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrianglesFound == 0 {
+		t.Fatal("no triangles discovered on the sparse-ID workload")
+	}
+	if res.Estimate < 20 || res.Estimate > 80 {
+		t.Fatalf("estimate %.1f far from the 40 true triangles", res.Estimate)
+	}
+}

@@ -24,9 +24,19 @@ import (
 )
 
 // Exact materializes the stream and counts triangles exactly with the
-// Chiba–Nishizeki-style counter from the graph package. It is the ground
-// truth and the Θ(m)-space reference point of every space comparison.
+// Chiba–Nishizeki-style counter from the graph package (parallel over vertex
+// ranges: graph.TriangleCountWorkers with GOMAXPROCS workers, so ground-truth
+// computation no longer dominates multi-algorithm experiments on multi-core
+// machines). It is the ground truth and the Θ(m)-space reference point of
+// every space comparison. Callers that already run trials on a worker pool
+// should use ExactWorkers(src, 1) to avoid nesting parallelism.
 func Exact(src stream.Stream) (core.Result, error) {
+	return ExactWorkers(src, 0)
+}
+
+// ExactWorkers is Exact with an explicit triangle-count worker bound;
+// workers <= 0 selects GOMAXPROCS. The count is identical at any setting.
+func ExactWorkers(src stream.Stream, workers int) (core.Result, error) {
 	meter := stream.NewSpaceMeter()
 	counter := stream.NewPassCounter(src)
 	b := graph.NewBuilder(0)
@@ -43,7 +53,7 @@ func Exact(src stream.Stream) (core.Result, error) {
 	g := b.Build()
 	// The CSR graph keeps 2m adjacency entries plus n+1 offsets.
 	meter.Charge(int64(2*g.NumEdges()) + int64(g.NumVertices()+1))
-	t := g.TriangleCount()
+	t := g.TriangleCountWorkers(workers)
 	return core.Result{
 		Estimate:       float64(t),
 		Passes:         counter.Passes(),

@@ -56,22 +56,18 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	// Vertex IDs are dense ints in this repository, so the degree table is a
 	// flat slice grown on demand — a slice index per endpoint instead of a
 	// hash probe. IDs beyond the dense budget (possible in hand-written edge
-	// files) spill into a map so one huge ID cannot balloon the slice. The
-	// meter is charged for the touched (nonzero) vertices, as a pure map
-	// version would be.
+	// files) go through a sparseDegreeTable — an append buffer periodically
+	// sort-merged into sorted (key, count) arrays — so one huge ID cannot
+	// balloon the slice, no hash map sits in the hot loop, and memory stays
+	// O(distinct + chunk) rather than O(occurrences). The meter is charged
+	// for the touched (nonzero) vertices, as a pure map version would be.
 	const denseDegreeLimit = 1 << 23
 	var degrees []int32
-	var sparse map[int]int32
+	var sparse sparseDegreeTable
 	distinct := 0
 	bump := func(v int) {
 		if v >= denseDegreeLimit || v < 0 {
-			if sparse == nil {
-				sparse = make(map[int]int32)
-			}
-			if sparse[v] == 0 {
-				distinct++
-			}
-			sparse[v]++
+			sparse.add(v)
 			return
 		}
 		if v >= len(degrees) {
@@ -99,6 +95,8 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 		res.Passes = counter.Passes()
 		return res, nil
 	}
+	sparse.flush()
+	distinct += len(sparse.keys)
 	meter.Charge(int64(distinct) * stream.WordsPerCounter)
 
 	theta := cfg.DegreeThreshold
@@ -107,7 +105,7 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	}
 	degreeOf := func(v int) int {
 		if v >= denseDegreeLimit || v < 0 {
-			return int(sparse[v])
+			return sparse.get(v)
 		}
 		if v >= len(degrees) {
 			return 0
@@ -250,6 +248,72 @@ func HeavyLight(src stream.Stream, cfg HeavyLightConfig) (core.Result, error) {
 	res.TrianglesFound = found
 	res.Instances = len(lights)
 	return res, nil
+}
+
+// sparseDegreeTable counts occurrences of vertex IDs beyond the dense-slice
+// budget without a hash map in the hot loop: adds land in an append buffer
+// that is sort-merged into the sorted (keys, counts) arrays whenever it
+// fills, so memory is O(distinct + chunk) even when a stream holds millions
+// of out-of-range endpoints. Lookups binary-search the sorted keys after a
+// final flush.
+type sparseDegreeTable struct {
+	keys    []int
+	counts  []int32
+	pending []int
+}
+
+// sparsePendingChunk bounds the unsorted buffer between merges.
+const sparsePendingChunk = 1 << 16
+
+func (t *sparseDegreeTable) add(v int) {
+	t.pending = append(t.pending, v)
+	if len(t.pending) >= sparsePendingChunk {
+		t.flush()
+	}
+}
+
+// flush folds the pending occurrences into the sorted arrays (two-pointer
+// merge of the run-length-encoded pending batch with the existing table).
+func (t *sparseDegreeTable) flush() {
+	if len(t.pending) == 0 {
+		return
+	}
+	sort.Ints(t.pending)
+	mergedKeys := make([]int, 0, len(t.keys)+len(t.pending))
+	mergedCounts := make([]int32, 0, len(t.counts)+len(t.pending))
+	i, j := 0, 0
+	for i < len(t.keys) || j < len(t.pending) {
+		switch {
+		case j == len(t.pending) || (i < len(t.keys) && t.keys[i] < t.pending[j]):
+			mergedKeys = append(mergedKeys, t.keys[i])
+			mergedCounts = append(mergedCounts, t.counts[i])
+			i++
+		default:
+			key := t.pending[j]
+			var n int32
+			for j < len(t.pending) && t.pending[j] == key {
+				n++
+				j++
+			}
+			if i < len(t.keys) && t.keys[i] == key {
+				n += t.counts[i]
+				i++
+			}
+			mergedKeys = append(mergedKeys, key)
+			mergedCounts = append(mergedCounts, n)
+		}
+	}
+	t.keys, t.counts = mergedKeys, mergedCounts
+	t.pending = t.pending[:0]
+}
+
+// get returns the count of v. It must only be called after a flush (the
+// estimator flushes once at the end of pass 1).
+func (t *sparseDegreeTable) get(v int) int {
+	if i := graph.FindSorted(t.keys, v); i >= 0 {
+		return int(t.counts[i])
+	}
+	return 0
 }
 
 // lightSample is the per-sampled-light-edge state of the HeavyLight

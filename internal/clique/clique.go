@@ -14,6 +14,12 @@
 // (Chiba–Nishizeki), which is what the conjectured O~(mκ^{k-2}/T_k) space
 // bound reflects.
 //
+// Like the core estimator, every pass runs on the sharded pass engine
+// (stream.ShardedForEachBatch): instances live in one flat array, the k−2
+// neighbor reservoirs of each instance are a sampling.ResK bank whose
+// randomness is keyed by (Seed, instance, shard), and per-shard state merges
+// in shard order — so the estimate is deterministic at any worker count.
+//
 // This is an extension beyond the paper's proven results: the estimator is
 // unbiased (a calculation identical to Section 4's), but the repository makes
 // no claim that its variance matches the conjecture on all graphs — the E11
@@ -23,11 +29,18 @@ package clique
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"degentri/internal/graph"
 	"degentri/internal/sampling"
 	"degentri/internal/stream"
+)
+
+// RNG stream keys of the sharded passes (see sampling.MixSeed).
+const (
+	rngKeyNeighbors      = 30 // per-(instance, shard) neighbor banks
+	rngKeyNeighborsMerge = 31 // per-instance shard-merge draws
 )
 
 // Config parameterizes the k-clique estimator.
@@ -48,6 +61,9 @@ type Config struct {
 	ROverride, LOverride int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the concurrent shard workers inside each pass; 0 selects
+	// GOMAXPROCS. The estimate is identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns a practical configuration.
@@ -74,6 +90,9 @@ func (c Config) Validate() error {
 	}
 	if c.CR <= 0 || c.CL <= 0 {
 		return fmt.Errorf("clique: CR and CL must be positive")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("clique: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -114,14 +133,14 @@ func (c Config) sampleSizeL(m, r int, dR int64) int {
 	return clampInt(int(math.Ceil(l)), 1, 1<<26)
 }
 
-// instance is one degree-proportional estimator instance.
+// instance is one degree-proportional estimator instance, stored flat (no
+// per-instance pointers) so the hot loops walk one contiguous array.
 type instance struct {
 	edge    graph.Edge
 	edgeDeg int
 	light   int
 	other   int
-	// One size-1 reservoir per required extra vertex.
-	seen    []int64
+	// The k-2 sampled neighbors (aliases the merger's bank after pass 3).
 	sampled []int
 	// Adjacency requirements discovered in the closure pass.
 	required int
@@ -139,6 +158,10 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	meter := stream.NewSpaceMeter()
 	counter := stream.NewPassCounter(src)
 	res := Result{}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	m, known := counter.Len()
 	if !known {
@@ -154,29 +177,25 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		return res, nil
 	}
 
-	// Pass 1: uniform edge sample (with replacement).
+	// Pass 1: uniform edge sample (with replacement), sharded over disjoint
+	// position ranges.
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := sampleUniformEdges(counter, rng, m, r)
+	R, err := sampleUniformEdges(counter, rng, m, r, workers)
 	if err != nil {
 		return res, err
 	}
 	meter.Charge(int64(len(R)) * stream.WordsPerEdge)
 
-	// Pass 2: degrees of endpoints of R, in a dense sorted counter.
+	// Pass 2: degrees of endpoints of R, per-shard forks of a dense sorted
+	// counter merged in shard order.
 	endpoints := make([]int, 0, 2*len(R))
 	for _, e := range R {
 		endpoints = append(endpoints, e.U, e.V)
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-		for _, e := range batch {
-			vertexDeg.Inc(e.U)
-			vertexDeg.Inc(e.V)
-		}
-		return nil
-	}); err != nil {
+	if err := countDegreesSharded(counter, m, workers, vertexDeg); err != nil {
 		return res, err
 	}
 	edgeDegs := make([]int64, len(R))
@@ -205,20 +224,14 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		return res, err
 	}
 	extra := cfg.K - 2
-	instances := make([]*instance, l)
+	instances := make([]instance, l)
 	lights := make([]int, l)
 	for i := 0; i < l; i++ {
 		idx := cum.Sample(rng)
 		e := R[idx]
-		inst := &instance{
-			edge:    e,
-			edgeDeg: int(edgeDegs[idx]),
-			seen:    make([]int64, extra),
-			sampled: make([]int, extra),
-		}
-		for j := range inst.sampled {
-			inst.sampled[j] = -1
-		}
+		inst := &instances[i]
+		inst.edge = e
+		inst.edgeDeg = int(edgeDegs[idx])
 		du, _ := vertexDeg.Get(e.U)
 		dv, _ := vertexDeg.Get(e.V)
 		if du <= dv {
@@ -226,51 +239,50 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		} else {
 			inst.light, inst.other = e.V, e.U
 		}
-		instances[i] = inst
 		lights[i] = inst.light
 	}
 	lightGroups := graph.NewVertexGroups(lights)
 	meter.Charge(int64(l) * int64(6+2*extra) * stream.WordsPerScalar)
 
-	// Pass 3: k-2 independent uniform neighbors of the light endpoint.
-	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-		for _, e := range batch {
-			for _, idx := range lightGroups.Lookup(e.U) {
-				instances[idx].offer(e.V, rng)
-			}
-			for _, idx := range lightGroups.Lookup(e.V) {
-				instances[idx].offer(e.U, rng)
-			}
-		}
-		return nil
-	}); err != nil {
+	// Pass 3: k-2 independent uniform neighbors of the light endpoint, via
+	// per-(instance, shard) sample banks merged in shard order.
+	banks, err := sampleNeighborBanksSharded(counter, m, workers, lightGroups, l, extra, cfg.Seed)
+	if err != nil {
 		return res, err
+	}
+	for i := range instances {
+		if banks[i].Has() {
+			instances[i].sampled = banks[i].W
+		}
 	}
 
 	// Pass 4: verify all remaining adjacencies of each candidate clique.
-	var needKeys []graph.Edge
-	var needInst []int32
-	for i, inst := range instances {
-		inst.prepare(i, &needKeys, &needInst)
+	// Every distinct candidate needs (k-2)(k-1)/2 checks; pre-size for the
+	// worst case of all instances being candidates.
+	checks := extra * (extra + 1) / 2
+	needKeys := make([]graph.Edge, 0, l*checks)
+	needInst := make([]int32, 0, l*checks)
+	for i := range instances {
+		instances[i].prepare(i, &needKeys, &needInst)
 	}
 	needed := graph.NewEdgeIndex(needKeys)
 	meter.Charge(int64(needed.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
 	if needed.Keys() > 0 {
-		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-			for _, e := range batch {
-				for _, it := range needed.Lookup(e.Normalize()) {
-					instances[needInst[it]].matched++
-				}
-			}
-			return nil
-		}); err != nil {
+		matched, err := closureMatchesSharded(counter, m, workers, needed, len(needInst))
+		if err != nil {
 			return res, err
+		}
+		for it, instIdx := range needInst {
+			if matched.Test(it) {
+				instances[instIdx].matched++
+			}
 		}
 	}
 
 	// Final estimate.
 	var sum float64
-	for _, inst := range instances {
+	for i := range instances {
+		inst := &instances[i]
 		if !inst.distinct || inst.matched < inst.required {
 			continue
 		}
@@ -289,14 +301,136 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// offer feeds a neighbor of the light endpoint to every per-slot reservoir.
-func (inst *instance) offer(v int, rng *sampling.RNG) {
-	for j := range inst.sampled {
-		inst.seen[j]++
-		if rng.Int63n(inst.seen[j]) == 0 {
-			inst.sampled[j] = v
-		}
+// countDegreesSharded increments vertexDeg for both endpoints of every edge
+// in one sharded pass (pooled forks, merged in shard order).
+func countDegreesSharded(counter stream.Stream, m, workers int, deg *graph.SortedCounter) error {
+	pool := stream.NewShardPool(deg.Fork, (*graph.SortedCounter).ResetCounts)
+	var shards [stream.NumShards]*graph.SortedCounter
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			c := shards[shard]
+			if c == nil {
+				c = pool.Get()
+				shards[shard] = c
+			}
+			for _, e := range batch {
+				c.Inc(e.U)
+				c.Inc(e.V)
+			}
+			return nil
+		},
+		func(shard int) error {
+			if c := shards[shard]; c != nil {
+				deg.Merge(c)
+				shards[shard] = nil
+				pool.Put(c)
+			}
+			return nil
+		})
+	return err
+}
+
+// bankShard is the per-shard state of the neighbor-sampling pass.
+type bankShard struct {
+	res     []sampling.ResK
+	touched []int32
+}
+
+// sampleNeighborBanksSharded draws, for every instance, k uniform neighbor
+// samples with replacement from its light endpoint's neighborhood, with
+// randomness keyed per (instance, shard) and merges per instance in shard
+// order.
+func sampleNeighborBanksSharded(
+	counter stream.Stream, m, workers int,
+	lightGroups *graph.VertexGroups, n, k int,
+	seed uint64,
+) ([]sampling.ResKMerger, error) {
+	merged := make([]sampling.ResKMerger, n)
+	for i := range merged {
+		merged[i].Init(sampling.MixSeed(seed, rngKeyNeighborsMerge, uint64(i)), k)
 	}
+	pool := stream.NewShardPool(
+		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
+		func(st *bankShard) {
+			for _, i := range st.touched {
+				st.res[i].Drop()
+			}
+			st.touched = st.touched[:0]
+		})
+	var shards [stream.NumShards]*bankShard
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := shards[shard]
+			if st == nil {
+				st = pool.Get()
+				shards[shard] = st
+			}
+			offer := func(idx int32, v int) {
+				b := &st.res[idx]
+				if !b.Ready() {
+					b.Init(sampling.MixSeed(seed, rngKeyNeighbors, uint64(idx), uint64(shard)), k)
+					st.touched = append(st.touched, idx)
+				}
+				b.Offer(v)
+			}
+			for _, e := range batch {
+				for _, idx := range lightGroups.Lookup(e.U) {
+					offer(idx, e.V)
+				}
+				for _, idx := range lightGroups.Lookup(e.V) {
+					offer(idx, e.U)
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if st := shards[shard]; st != nil {
+				for _, i := range st.touched {
+					merged[i].Absorb(&st.res[i])
+				}
+				shards[shard] = nil
+				pool.Put(st)
+			}
+			return nil
+		})
+	return merged, err
+}
+
+// closureMatchesSharded marks, for every adjacency-check item, whether its
+// edge key appeared in the stream (per-shard hit bitsets OR-merged in shard
+// order).
+func closureMatchesSharded(
+	counter stream.Stream, m, workers int,
+	needed *graph.EdgeIndex, items int,
+) (*graph.Bitset, error) {
+	merged := graph.NewBitset(items)
+	pool := stream.NewShardPool(
+		func() *graph.Bitset { return graph.NewBitset(items) },
+		(*graph.Bitset).Clear)
+	var shards [stream.NumShards]*graph.Bitset
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			bits := shards[shard]
+			if bits == nil {
+				bits = pool.Get()
+				shards[shard] = bits
+			}
+			for _, e := range batch {
+				for _, it := range needed.Lookup(e.Normalize()) {
+					bits.Set(int(it))
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if bits := shards[shard]; bits != nil {
+				merged.Or(bits)
+				shards[shard] = nil
+				pool.Put(bits)
+			}
+			return nil
+		})
+	return merged, err
 }
 
 // prepare validates distinctness and registers the adjacency checks the
@@ -305,6 +439,9 @@ func (inst *instance) offer(v int, rng *sampling.RNG) {
 // (Adjacency to the light endpoint holds by construction.) Requirements are
 // appended as (edge key, instance index) pairs for a graph.EdgeIndex.
 func (inst *instance) prepare(idx int, needKeys *[]graph.Edge, needInst *[]int32) {
+	if inst.sampled == nil {
+		return
+	}
 	inst.distinct = true
 	for i, w := range inst.sampled {
 		if w < 0 || w == inst.other || w == inst.light {
@@ -330,37 +467,46 @@ func (inst *instance) prepare(idx int, needKeys *[]graph.Edge, needInst *[]int32
 	}
 }
 
-// sampleUniformEdges draws r edges with replacement in a single pass by
-// pre-drawing sorted positions.
-func sampleUniformEdges(src stream.Stream, rng *sampling.RNG, m, r int) ([]graph.Edge, error) {
+// positionShard is the per-shard cursor of the uniform edge-sampling pass.
+type positionShard struct {
+	pos  int
+	next int
+	init bool
+}
+
+// sampleUniformEdges draws r edges with replacement in a single sharded pass
+// by pre-drawing sorted positions; each shard collects the positions in its
+// range (disjoint sample slots, no merge state).
+func sampleUniformEdges(src stream.Stream, rng *sampling.RNG, m, r, workers int) ([]graph.Edge, error) {
 	positions := make([]int, r)
 	for i := range positions {
 		positions[i] = rng.Intn(m)
 	}
-	sort.Ints(positions)
+	sampling.SortPositions(positions)
 	sample := make([]graph.Edge, r)
-	if err := src.Reset(); err != nil {
-		return nil, err
-	}
-	pos, next := 0, 0
-	for {
-		batch, err := src.NextBatch(nil)
-		if err == stream.ErrEndOfPass {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range batch {
-			for next < r && positions[next] == pos {
-				sample[next] = e.Normalize()
-				next++
+	var shards [stream.NumShards]positionShard
+	_, err := stream.ShardedForEachBatch(src, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := &shards[shard]
+			if !st.init {
+				st.pos, _ = stream.ShardRange(m, shard)
+				st.next = sort.SearchInts(positions, st.pos)
+				st.init = true
 			}
-			pos++
-		}
-	}
-	if next < r {
-		return nil, fmt.Errorf("clique: stream ended after %d edges, expected %d", pos, m)
+			pos, next := st.pos, st.next
+			for _, e := range batch {
+				for next < r && positions[next] == pos {
+					sample[next] = e.Normalize()
+					next++
+				}
+				pos++
+			}
+			st.pos, st.next = pos, next
+			return nil
+		},
+		func(int) error { return nil })
+	if err != nil {
+		return nil, err
 	}
 	return sample, nil
 }

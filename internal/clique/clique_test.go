@@ -196,3 +196,35 @@ func (h *hiddenLen) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 	return h.inner.NextBatch(buf)
 }
 func (h *hiddenLen) Len() (int, bool) { return 0, false }
+
+// TestEstimateWorkerCountInvariance checks the sharded-pass determinism
+// contract: the Workers knob may change wall-clock but not a single bit of
+// the Result.
+func TestEstimateWorkerCountInvariance(t *testing.T) {
+	g := gen.HolmeKim(2500, 5, 0.6, 21)
+	cfg := DefaultConfig(4, 0.2, g.Degeneracy(), maxInt64(g.CliqueCount(4), 1))
+	for _, seed := range []uint64{1, 99} {
+		cfg.Seed = seed
+		var base Result
+		for i, workers := range []int{1, 2, 4, 8} {
+			cfg.Workers = workers
+			res, err := Estimate(stream.FromGraphShuffled(g, seed), cfg)
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			if i == 0 {
+				base = res
+			} else if res != base {
+				t.Errorf("seed=%d: workers=%d diverges from workers=1:\n  %+v\n  %+v",
+					seed, workers, res, base)
+			}
+		}
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

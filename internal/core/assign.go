@@ -5,8 +5,41 @@ import (
 	"slices"
 
 	"degentri/internal/graph"
+	"degentri/internal/sampling"
 	"degentri/internal/stream"
 )
+
+// assignmentTable is the outcome of the assignment procedure: for every
+// distinct discovered triangle (id'd by the TriangleIndex) the edge it was
+// assigned to, or unassigned (⊥). It replaces the map[graph.Triangle]Edge of
+// the map-based implementation with a sorted packed-key table whose iteration
+// and lookup order are deterministic.
+type assignmentTable struct {
+	idx   *graph.TriangleIndex
+	edges []graph.Edge
+	set   *graph.Bitset
+}
+
+// lookup returns the edge assigned to the triangle and whether it is
+// assigned.
+func (t *assignmentTable) lookup(tri graph.Triangle) (graph.Edge, bool) {
+	if t == nil || t.idx == nil {
+		return graph.Edge{}, false
+	}
+	i := t.idx.Lookup(tri)
+	if i < 0 || !t.set.Test(i) {
+		return graph.Edge{}, false
+	}
+	return t.edges[i], true
+}
+
+// assigned returns how many triangles are assigned.
+func (t *assignmentTable) assigned() int {
+	if t == nil || t.set == nil {
+		return 0
+	}
+	return t.set.Count()
+}
 
 // triState is the per-triangle state of the assignment procedure
 // (Algorithm 3). Each of the three edge slots carries its own neighborhood
@@ -18,63 +51,63 @@ type triState struct {
 	other  [3]int
 	deg    [3]int   // d_f = min endpoint degree of the slot's edge
 	skip   [3]bool  // true when d_f exceeds the heavy-degree threshold (line 9)
-	seen   [3]int64 // neighbors of the light endpoint seen so far (pass 5)
-	sample [3][]int // s reservoir samples from N(f)
+	sample [3][]int // s samples from N(f); -1 entries never materialized
 	closed [3]int   // how many of the s samples closed a triangle (pass 6)
 	ye     [3]float64
 }
 
-// offer feeds one neighbor of the slot's light endpoint into the slot's s
-// independent size-1 reservoirs (sampling with replacement from N(f)).
-func (st *triState) offer(slot, v int, est *Estimator) {
-	st.seen[slot]++
-	n := st.seen[slot]
-	for j := range st.sample[slot] {
-		if est.rng.Int63n(n) == 0 {
-			st.sample[slot][j] = v
-		}
-	}
-}
-
 // assign runs the triangle-to-edge assignment phase and returns, for every
 // distinct triangle discovered by the instances, the edge it is assigned to.
-// Triangles left unassigned (Algorithm 3 returning ⊥) have no map entry.
+// Triangles left unassigned (Algorithm 3 returning ⊥) have no table entry.
 //
-// RuleNone needs no assignment and returns an empty map without extra
+// RuleNone needs no assignment and returns an empty table without extra
 // passes. RuleLowestDegree assigns to the minimum-degree edge using degrees
 // already measured in passes 2 and 4, also without extra passes.
 // RuleLowestCount is the paper's rule and performs passes 5 and 6.
 //
-// All iteration is over slices in triangle-discovery order (the memo table
-// keeps only the dedup index), so the randomness consumed in pass 5 — and
-// with it the estimate — is deterministic for a fixed seed.
+// The distinct triangles are numbered by graph.TriangleIndex (sorted triple
+// order) and all per-slot randomness is keyed by (Config.Seed, slot id,
+// shard), so both passes run on the sharded engine and the assignment — and
+// with it the estimate — is deterministic at any worker count.
 func (est *Estimator) assign(
 	counter stream.Stream,
 	res *Result,
 	instances []instance,
 	degreeOf func(int) (int, bool),
 	m int,
-) (map[graph.Triangle]graph.Edge, error) {
+	workers int,
+) (*assignmentTable, error) {
 	cfg := est.cfg
-	assignments := make(map[graph.Triangle]graph.Edge)
 	if cfg.Rule == RuleNone {
-		return assignments, nil
+		return &assignmentTable{}, nil
 	}
 
 	// Deduplicate the discovered triangles: the memo table of Section 5.1,
 	// which also guarantees that repeated IsAssigned calls are consistent.
-	// states holds the distinct triangles in discovery order.
-	stateIdx := make(map[graph.Triangle]int)
-	var states []triState
+	// The TriangleIndex numbers the distinct triangles in sorted triple
+	// order; state si describes triangle id si.
+	tris := make([]graph.Triangle, 0, res.TrianglesFound)
 	for i := range instances {
-		inst := &instances[i]
-		if !inst.closed {
-			continue
+		if instances[i].closed {
+			tris = append(tris, instances[i].tri)
 		}
-		if _, ok := stateIdx[inst.tri]; ok {
-			continue
-		}
-		st := triState{tri: inst.tri, edges: inst.tri.Edges()}
+	}
+	triIdx := graph.NewTriangleIndex(tris)
+	res.DistinctTriangles = triIdx.Len()
+	table := &assignmentTable{
+		idx:   triIdx,
+		edges: make([]graph.Edge, triIdx.Len()),
+		set:   graph.NewBitset(triIdx.Len()),
+	}
+	if triIdx.Len() == 0 {
+		return table, nil
+	}
+
+	states := make([]triState, triIdx.Len())
+	for si := range states {
+		st := &states[si]
+		st.tri = triIdx.TriangleAt(si)
+		st.edges = st.tri.Edges()
 		for slot, f := range st.edges {
 			du, okU := degreeOf(f.U)
 			dv, okV := degreeOf(f.V)
@@ -97,12 +130,6 @@ func (est *Estimator) assign(
 				st.light[slot], st.other[slot] = f.V, f.U
 			}
 		}
-		stateIdx[inst.tri] = len(states)
-		states = append(states, st)
-	}
-	res.DistinctTriangles = len(states)
-	if len(states) == 0 {
-		return assignments, nil
 	}
 
 	if cfg.Rule == RuleLowestDegree {
@@ -119,11 +146,12 @@ func (est *Estimator) assign(
 				}
 			}
 			if best >= 0 {
-				assignments[st.tri] = st.edges[best]
+				table.edges[si] = st.edges[best]
+				table.set.Set(si)
 			}
 		}
-		est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
-		return assignments, nil
+		est.meter.Charge(int64(table.assigned()) * 2 * stream.WordsPerEdge)
+		return table, nil
 	}
 
 	// RuleLowestCount: the full Algorithm 3.
@@ -133,7 +161,8 @@ func (est *Estimator) assign(
 	cutoff := cfg.assignmentCutoff()
 
 	// Active (state, slot) pairs grouped by the slot's light endpoint. Slot
-	// IDs are state-index*3+slot; groups preserve discovery order.
+	// IDs are state-index*3+slot; the dense index into slotIDs keys the
+	// slot's RNG streams.
 	var slotLights []int
 	var slotIDs []int32
 	for si := range states {
@@ -148,10 +177,6 @@ func (est *Estimator) assign(
 				st.ye[slot] = math.Inf(1)
 				continue
 			}
-			st.sample[slot] = make([]int, s)
-			for j := range st.sample[slot] {
-				st.sample[slot][j] = -1
-			}
 			slotLights = append(slotLights, st.light[slot])
 			slotIDs = append(slotIDs, int32(si*3+slot))
 		}
@@ -159,27 +184,22 @@ func (est *Estimator) assign(
 	}
 	if est.overBudget() {
 		res.Aborted = true
-		return assignments, nil
+		return table, nil
 	}
 
 	if len(slotIDs) > 0 {
 		lightGroups := graph.NewVertexGroups(slotLights)
 
 		// ----- Pass 5: s uniform neighborhood samples per active slot. -----
-		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-			for _, e := range batch {
-				for _, idx := range lightGroups.Lookup(e.U) {
-					id := slotIDs[idx]
-					states[id/3].offer(int(id%3), e.V, est)
-				}
-				for _, idx := range lightGroups.Lookup(e.V) {
-					id := slotIDs[idx]
-					states[id/3].offer(int(id%3), e.U, est)
-				}
+		banks, err := sampleNeighborBanksSharded(
+			counter, m, workers, lightGroups, len(slotIDs), s, cfg.Seed)
+		if err != nil {
+			return table, err
+		}
+		for j, id := range slotIDs {
+			if banks[j].Has() {
+				states[id/3].sample[id%3] = banks[j].W
 			}
-			return nil
-		}); err != nil {
-			return assignments, err
 		}
 
 		// ----- Pass 6: closure checks for all drawn samples. -----
@@ -193,46 +213,41 @@ func (est *Estimator) assign(
 		var hitKeys []graph.Edge
 		var hits []hit
 		scratch := make([]int, 0, s)
-		for si := range states {
-			st := &states[si]
-			for slot := range st.edges {
-				if st.skip[slot] || st.sample[slot] == nil {
-					continue
+		for _, id := range slotIDs {
+			st := &states[id/3]
+			slot := int(id % 3)
+			if st.skip[slot] || st.sample[slot] == nil {
+				continue
+			}
+			scratch = scratch[:0]
+			for _, w := range st.sample[slot] {
+				if w >= 0 && w != st.other[slot] {
+					scratch = append(scratch, w)
 				}
-				scratch = scratch[:0]
-				for _, w := range st.sample[slot] {
-					if w >= 0 && w != st.other[slot] {
-						scratch = append(scratch, w)
-					}
+			}
+			slices.Sort(scratch)
+			for k := 0; k < len(scratch); {
+				j := k + 1
+				for j < len(scratch) && scratch[j] == scratch[k] {
+					j++
 				}
-				slices.Sort(scratch)
-				for k := 0; k < len(scratch); {
-					j := k + 1
-					for j < len(scratch) && scratch[j] == scratch[k] {
-						j++
-					}
-					hitKeys = append(hitKeys, graph.NewEdge(st.other[slot], scratch[k]))
-					hits = append(hits, hit{id: int32(si*3 + slot), count: int32(j - k)})
-					k = j
-				}
+				hitKeys = append(hitKeys, graph.NewEdge(st.other[slot], scratch[k]))
+				hits = append(hits, hit{id: id, count: int32(j - k)})
+				k = j
 			}
 		}
 		closure := graph.NewEdgeIndex(hitKeys)
 		est.meter.Charge(int64(closure.Keys()) * (stream.WordsPerEdge + 2*stream.WordsPerScalar))
 		if est.overBudget() {
 			res.Aborted = true
-			return assignments, nil
+			return table, nil
 		}
-		if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-			for _, e := range batch {
-				for _, it := range closure.Lookup(e.Normalize()) {
-					h := hits[it]
-					states[h.id/3].closed[h.id%3] += int(h.count)
-				}
-			}
-			return nil
-		}); err != nil {
-			return assignments, err
+		matches, err := closureMatchesSharded(counter, m, workers, closure, len(hits))
+		if err != nil {
+			return table, err
+		}
+		for it, h := range hits {
+			states[h.id/3].closed[h.id%3] += int(h.count) * matches[it]
 		}
 	}
 
@@ -256,8 +271,119 @@ func (est *Estimator) assign(
 		if math.IsInf(st.ye[best], 1) || st.ye[best] > cutoff {
 			continue // unassigned (⊥)
 		}
-		assignments[st.tri] = st.edges[best]
+		table.edges[si] = st.edges[best]
+		table.set.Set(si)
 	}
-	est.meter.Charge(int64(len(assignments)) * 2 * stream.WordsPerEdge)
-	return assignments, nil
+	est.meter.Charge(int64(table.assigned()) * 2 * stream.WordsPerEdge)
+	return table, nil
+}
+
+// bankShard is the per-shard state of the assignment sampling pass: one lazy
+// s-sample bank per active slot.
+type bankShard struct {
+	res     []sampling.ResK
+	touched []int32
+}
+
+// sampleNeighborBanksSharded runs pass 5 on the sharded engine: for every
+// active slot (grouped by light endpoint in lightGroups) it draws s uniform
+// neighbor samples with replacement. Randomness is keyed per (slot, shard)
+// and merges per slot in shard order, exactly like pass 3 but with an
+// s-sample bank instead of a single reservoir.
+func sampleNeighborBanksSharded(
+	counter stream.Stream, m, workers int,
+	lightGroups *graph.VertexGroups, n, s int,
+	seed uint64,
+) ([]sampling.ResKMerger, error) {
+	merged := make([]sampling.ResKMerger, n)
+	for j := range merged {
+		merged[j].Init(sampling.MixSeed(seed, rngKeyPass5Merge, uint64(j)), s)
+	}
+	pool := stream.NewShardPool(
+		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
+		func(st *bankShard) {
+			for _, j := range st.touched {
+				st.res[j].Drop()
+			}
+			st.touched = st.touched[:0]
+		})
+	var shards [stream.NumShards]*bankShard
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := shards[shard]
+			if st == nil {
+				st = pool.Get()
+				shards[shard] = st
+			}
+			offer := func(idx int32, v int) {
+				r := &st.res[idx]
+				if !r.Ready() {
+					r.Init(sampling.MixSeed(seed, rngKeyPass5, uint64(idx), uint64(shard)), s)
+					st.touched = append(st.touched, idx)
+				}
+				r.Offer(v)
+			}
+			for _, e := range batch {
+				for _, idx := range lightGroups.Lookup(e.U) {
+					offer(idx, e.V)
+				}
+				for _, idx := range lightGroups.Lookup(e.V) {
+					offer(idx, e.U)
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if st := shards[shard]; st != nil {
+				for _, j := range st.touched {
+					merged[j].Absorb(&st.res[j])
+				}
+				shards[shard] = nil
+				pool.Put(st)
+			}
+			return nil
+		})
+	return merged, err
+}
+
+// closureMatchesSharded runs one sharded pass counting, for every closure
+// item, how many stream edges match its key (per-shard int32 tallies summed
+// in shard order). For simple streams each count is 0 or 1, but duplicates in
+// the stream are tallied faithfully.
+func closureMatchesSharded(
+	counter stream.Stream, m, workers int,
+	closure *graph.EdgeIndex, items int,
+) ([]int, error) {
+	merged := make([]int, items)
+	pool := stream.NewShardPool(
+		func() []int32 { return make([]int32, items) },
+		func(c []int32) { clear(c) })
+	var shards [stream.NumShards][]int32
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			c := shards[shard]
+			if c == nil {
+				c = pool.Get()
+				shards[shard] = c
+			}
+			for _, e := range batch {
+				for _, it := range closure.Lookup(e.Normalize()) {
+					c[it]++
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if c := shards[shard]; c != nil {
+				for it, n := range c {
+					if n != 0 {
+						merged[it] += int(n)
+					}
+				}
+				shards[shard] = nil
+				pool.Put(c)
+			}
+			return nil
+		})
+	return merged, err
 }

@@ -54,3 +54,31 @@ func BenchmarkEstimateTrianglesRuleNone(b *testing.B) {
 	}
 	b.ReportMetric(float64(m)*float64(passes)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 }
+
+// benchmarkEstimateWorkers measures one estimator run (not parallel trials —
+// one run) at a fixed shard worker count on an E1-scale workload. The
+// estimates are identical across worker counts; only wall-clock may differ.
+func benchmarkEstimateWorkers(b *testing.B, workers int) {
+	b.Helper()
+	g, cfg := benchWorkload(b)
+	cfg.Workers = workers
+	m := g.NumEdges()
+	src := stream.FromGraphShuffled(g, 7)
+	passes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.EstimateTriangles(src, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passes = res.Passes
+	}
+	b.ReportMetric(float64(m)*float64(passes)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkEstimateTrianglesWorkers1 pins the sequential engine path.
+func BenchmarkEstimateTrianglesWorkers1(b *testing.B) { benchmarkEstimateWorkers(b, 1) }
+
+// BenchmarkEstimateTrianglesWorkers4 exercises the parallel engine path with
+// four shard workers (compare against Workers1 on a multi-core machine).
+func BenchmarkEstimateTrianglesWorkers4(b *testing.B) { benchmarkEstimateWorkers(b, 4) }

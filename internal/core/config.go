@@ -91,6 +91,11 @@ type Config struct {
 	// fix r, ℓ, s directly. The experiment harness uses these for controlled
 	// space sweeps.
 	ROverride, LOverride, SOverride int
+	// Workers bounds the concurrent shard workers of the sharded pass engine
+	// inside a single run; 0 selects GOMAXPROCS, 1 forces sequential passes.
+	// Estimates are bit-identical for a fixed seed at any worker count (the
+	// shard grid and all RNG streams are independent of Workers).
+	Workers int
 }
 
 // DefaultConfig returns a practical configuration for the given degeneracy
@@ -125,6 +130,9 @@ func (c Config) Validate() error {
 	}
 	if c.Groups < 0 {
 		return fmt.Errorf("core: groups must be non-negative, got %d", c.Groups)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
 	}
 	switch c.Rule {
 	case RuleLowestCount, RuleNone, RuleLowestDegree:

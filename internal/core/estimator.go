@@ -1,12 +1,25 @@
 package core
 
 import (
-	"fmt"
+	"runtime"
 	"sort"
 
 	"degentri/internal/graph"
 	"degentri/internal/sampling"
 	"degentri/internal/stream"
+)
+
+// RNG stream keys of the sharded passes (see sampling.MixSeed): every draw an
+// estimator makes inside a sharded pass comes from a stream keyed by
+// (Config.Seed, pass key, instance/slot index[, shard index]), so the
+// realized randomness — and with it the estimate — does not depend on worker
+// scheduling. The estimator's root RNG is only consumed sequentially between
+// passes (sample positions, instance selection).
+const (
+	rngKeyPass3      = 3 // per-(instance, shard) neighbor reservoirs
+	rngKeyPass3Merge = 4 // per-instance shard-merge draws
+	rngKeyPass5      = 5 // per-(slot, shard) assignment sample banks
+	rngKeyPass5Merge = 6 // per-slot shard-merge draws
 )
 
 // instance is the state of one of the ℓ degree-proportional estimator
@@ -16,9 +29,7 @@ type instance struct {
 	edgeDeg int
 	light   int
 	other   int
-	// Pass 3 state: a size-1 reservoir over the neighbors of the light
-	// endpoint.
-	seen int64
+	// Pass 3 outcome: the sampled neighbor of the light endpoint.
 	w    int
 	hasW bool
 	// Pass 4 outcome.
@@ -33,9 +44,11 @@ type instance struct {
 // single-use.
 //
 // The per-edge hot loops of passes 2–6 use the dense sorted structures of the
-// graph package (SortedCounter, VertexGroups, EdgeIndex) instead of hash
-// maps, and consume the stream in batches; the estimate for a fixed seed is
-// deterministic.
+// graph package (SortedCounter, VertexGroups, EdgeIndex, TriangleIndex) and
+// run on the sharded pass engine: each pass is split over the fixed
+// stream.NumShards grid, processed by up to Config.Workers concurrent
+// workers, and merged in shard order, so the estimate for a fixed seed is
+// deterministic at any worker count.
 type Estimator struct {
 	cfg   Config
 	rng   *sampling.RNG
@@ -53,6 +66,14 @@ func EstimateTriangles(src stream.Stream, cfg Config) (Result, error) {
 	return NewEstimator(cfg).Run(src)
 }
 
+// workers resolves Config.Workers.
+func (est *Estimator) workers() int {
+	if est.cfg.Workers > 0 {
+		return est.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run executes the estimator against the stream and returns the estimate and
 // resource accounting. The stream must replay the same edge order on every
 // pass (all stream.Stream implementations in this repository do).
@@ -66,7 +87,8 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 
 	// Discover m. If the source knows its length this is free; otherwise it
 	// costs one counting pass (the paper assumes m is known when setting
-	// parameters).
+	// parameters). The counting pass also lets file-backed streams build
+	// their shard index, so the passes below can run with concurrent workers.
 	m, known := counter.Len()
 	if !known {
 		var err error
@@ -80,11 +102,12 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 		res.Passes = counter.Passes()
 		return res, nil
 	}
+	workers := est.workers()
 
 	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := est.sampleUniformEdges(counter, m, r)
+	R, err := est.sampleUniformEdges(counter, m, r, workers)
 	if err != nil {
 		return res, err
 	}
@@ -103,13 +126,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	est.meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-		for _, e := range batch {
-			vertexDeg.Inc(e.U)
-			vertexDeg.Inc(e.V)
-		}
-		return nil
-	}); err != nil {
+	if err := est.countDegreesSharded(counter, m, workers, vertexDeg); err != nil {
 		return res, err
 	}
 
@@ -167,28 +184,36 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Pass 3: uniform neighbor of the light endpoint, per instance. -----
-	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-		for _, e := range batch {
-			for _, idx := range lightGroups.Lookup(e.U) {
-				instances[idx].offerNeighbor(e.V, est.rng)
-			}
-			for _, idx := range lightGroups.Lookup(e.V) {
-				instances[idx].offerNeighbor(e.U, est.rng)
-			}
-		}
-		return nil
-	}); err != nil {
+	neighbors, err := sampleNeighborsSharded(
+		counter, m, workers, lightGroups, l, cfg.Seed, rngKeyPass3, rngKeyPass3Merge)
+	if err != nil {
 		return res, err
+	}
+	for i := range instances {
+		if neighbors[i].Has() {
+			instances[i].w = neighbors[i].W
+			instances[i].hasW = true
+		}
 	}
 
 	// ----- Pass 4: closure checks and apex degrees. -----
-	var closureKeys []graph.Edge
-	var closureInst []int32
-	var apexes []int
+	// Pre-size to the live instance count: every live instance contributes
+	// exactly one closure key and one apex.
+	live := 0
 	for i := range instances {
 		inst := &instances[i]
 		if !inst.hasW || inst.w == inst.other {
 			inst.hasW = false
+			continue
+		}
+		live++
+	}
+	closureKeys := make([]graph.Edge, 0, live)
+	closureInst := make([]int32, 0, live)
+	apexes := make([]int, 0, live)
+	for i := range instances {
+		inst := &instances[i]
+		if !inst.hasW {
 			continue
 		}
 		closureKeys = append(closureKeys, graph.NewEdge(inst.other, inst.w))
@@ -199,19 +224,15 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	apexDeg := graph.NewSortedCounter(apexes)
 	est.meter.Charge(int64(closure.Keys())*(stream.WordsPerEdge+stream.WordsPerScalar) +
 		int64(apexDeg.Len())*stream.WordsPerCounter)
-	if _, err := stream.ForEachBatch(counter, func(batch []graph.Edge) error {
-		for _, e := range batch {
-			if items := closure.Lookup(e.Normalize()); items != nil {
-				for _, it := range items {
-					instances[closureInst[it]].closed = true
-				}
-			}
-			apexDeg.Inc(e.U)
-			apexDeg.Inc(e.V)
-		}
-		return nil
-	}); err != nil {
+
+	closedBits, err := closureSharded(counter, m, workers, closure, len(closureInst), apexDeg)
+	if err != nil {
 		return res, err
+	}
+	for it, instIdx := range closureInst {
+		if closedBits.Test(it) {
+			instances[instIdx].closed = true
+		}
 	}
 
 	// Collect the discovered triangles.
@@ -235,7 +256,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Assignment (Algorithm 3): passes 5 and 6 for the paper's rule. -----
-	assignments, aerr := est.assign(counter, &res, instances, degreeOf, m)
+	assignments, aerr := est.assign(counter, &res, instances, degreeOf, m, workers)
 	if aerr != nil {
 		return res, aerr
 	}
@@ -255,7 +276,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 			case RuleNone:
 				inst.y = true
 			default:
-				assignedTo, ok := assignments[inst.tri]
+				assignedTo, ok := assignments.lookup(inst.tri)
 				inst.y = ok && assignedTo == inst.edge.Normalize()
 			}
 			if inst.y {
@@ -276,57 +297,216 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	return res, nil
 }
 
-// offerNeighbor implements the per-instance size-1 reservoir of pass 3.
-func (inst *instance) offerNeighbor(v int, rng *sampling.RNG) {
-	inst.seen++
-	if rng.Int63n(inst.seen) == 0 {
-		inst.w = v
-		inst.hasW = true
+// countDegreesSharded runs one sharded pass that increments deg for both
+// endpoints of every edge, using a pooled Fork per shard merged in order.
+func (est *Estimator) countDegreesSharded(
+	counter stream.Stream, m, workers int, deg *graph.SortedCounter,
+) error {
+	pool := stream.NewShardPool(deg.Fork, (*graph.SortedCounter).ResetCounts)
+	var shards [stream.NumShards]*graph.SortedCounter
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			c := shards[shard]
+			if c == nil {
+				c = pool.Get()
+				shards[shard] = c
+			}
+			for _, e := range batch {
+				c.Inc(e.U)
+				c.Inc(e.V)
+			}
+			return nil
+		},
+		func(shard int) error {
+			if c := shards[shard]; c != nil {
+				deg.Merge(c)
+				shards[shard] = nil
+				pool.Put(c)
+			}
+			return nil
+		})
+	return err
+}
+
+// neighborShard is the per-shard state of a neighbor-sampling pass: one lazy
+// skip-ahead reservoir per instance, plus the touched list for sparse merge.
+type neighborShard struct {
+	res     []sampling.Res1
+	touched []int32
+}
+
+// sampleNeighborsSharded runs one sharded pass drawing, for every instance
+// grouped in lightGroups, a uniform neighbor of its light endpoint. The
+// reservoir of instance i in shard k draws from the RNG stream
+// (seed, passKey, i, k) and the per-instance shard merge from
+// (seed, mergeKey, i), which makes the returned samples independent of the
+// worker count. It returns one merger per instance (Has()==false when the
+// light endpoint had no neighbors).
+func sampleNeighborsSharded(
+	counter stream.Stream, m, workers int,
+	lightGroups *graph.VertexGroups, n int,
+	seed uint64, passKey, mergeKey uint64,
+) ([]sampling.Res1Merger, error) {
+	merged := make([]sampling.Res1Merger, n)
+	for i := range merged {
+		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)))
 	}
+	pool := stream.NewShardPool(
+		func() *neighborShard { return &neighborShard{res: make([]sampling.Res1, n)} },
+		func(st *neighborShard) {
+			for _, i := range st.touched {
+				st.res[i] = sampling.Res1{}
+			}
+			st.touched = st.touched[:0]
+		})
+	var shards [stream.NumShards]*neighborShard
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := shards[shard]
+			if st == nil {
+				st = pool.Get()
+				shards[shard] = st
+			}
+			offer := func(idx int32, v int) {
+				r := &st.res[idx]
+				if !r.Ready() {
+					r.Init(sampling.MixSeed(seed, passKey, uint64(idx), uint64(shard)))
+					st.touched = append(st.touched, idx)
+				}
+				r.Offer(v)
+			}
+			for _, e := range batch {
+				for _, idx := range lightGroups.Lookup(e.U) {
+					offer(idx, e.V)
+				}
+				for _, idx := range lightGroups.Lookup(e.V) {
+					offer(idx, e.U)
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if st := shards[shard]; st != nil {
+				for _, i := range st.touched {
+					merged[i].Absorb(&st.res[i])
+				}
+				shards[shard] = nil
+				pool.Put(st)
+			}
+			return nil
+		})
+	return merged, err
+}
+
+// closureShard is the per-shard state of a closure-check pass: a hit bitset
+// over the closure items plus (optionally) a degree-counter fork.
+type closureShard struct {
+	bits *graph.Bitset
+	deg  *graph.SortedCounter
+}
+
+// closureSharded runs one sharded pass marking, for every closure item whose
+// key appears in the stream, a bit in the returned bitset, while also
+// counting apex degrees when apexDeg is non-nil. Hit bits are set in
+// per-shard bitsets OR-merged in shard order — no shared writes.
+func closureSharded(
+	counter stream.Stream, m, workers int,
+	closure *graph.EdgeIndex, items int,
+	apexDeg *graph.SortedCounter,
+) (*graph.Bitset, error) {
+	merged := graph.NewBitset(items)
+	pool := stream.NewShardPool(
+		func() *closureShard {
+			st := &closureShard{bits: graph.NewBitset(items)}
+			if apexDeg != nil {
+				st.deg = apexDeg.Fork()
+			}
+			return st
+		},
+		func(st *closureShard) {
+			st.bits.Clear()
+			if st.deg != nil {
+				st.deg.ResetCounts()
+			}
+		})
+	var shards [stream.NumShards]*closureShard
+	_, err := stream.ShardedForEachBatch(counter, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := shards[shard]
+			if st == nil {
+				st = pool.Get()
+				shards[shard] = st
+			}
+			for _, e := range batch {
+				if items := closure.Lookup(e.Normalize()); items != nil {
+					for _, it := range items {
+						st.bits.Set(int(it))
+					}
+				}
+				if st.deg != nil {
+					st.deg.Inc(e.U)
+					st.deg.Inc(e.V)
+				}
+			}
+			return nil
+		},
+		func(shard int) error {
+			if st := shards[shard]; st != nil {
+				merged.Or(st.bits)
+				if st.deg != nil {
+					apexDeg.Merge(st.deg)
+				}
+				shards[shard] = nil
+				pool.Put(st)
+			}
+			return nil
+		})
+	return merged, err
+}
+
+// positionShard is the per-shard cursor of the uniform edge-sampling pass.
+type positionShard struct {
+	pos  int // next stream position of this shard
+	next int // next index into the sorted position array
+	init bool
 }
 
 // sampleUniformEdges draws r edges uniformly at random with replacement from
-// the stream, using one pass: it pre-draws r uniform positions in [0, m),
-// sorts them, and collects the edges at those positions.
-func (est *Estimator) sampleUniformEdges(src stream.Stream, m, r int) ([]graph.Edge, error) {
+// the stream in one sharded pass: it pre-draws r uniform positions in [0, m)
+// from the root RNG, sorts them, and each shard collects the positions that
+// fall in its range (disjoint index ranges of the sample array, so no merge
+// state is needed).
+func (est *Estimator) sampleUniformEdges(src stream.Stream, m, r, workers int) ([]graph.Edge, error) {
 	positions := make([]int, r)
 	for i := range positions {
 		positions[i] = est.rng.Intn(m)
 	}
-	sort.Ints(positions)
+	sampling.SortPositions(positions)
 	sample := make([]graph.Edge, r)
 
-	if err := src.Reset(); err != nil {
-		return nil, err
-	}
-	pos := 0
-	next := 0
-	for {
-		batch, err := src.NextBatch(nil)
-		if err == stream.ErrEndOfPass {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		// Collect the sampled positions from this batch; once the sample is
-		// full, later batches merely drain the pass so that pass accounting
-		// stays honest (a pass is a full scan in the streaming model).
-		if next < r {
+	var shards [stream.NumShards]positionShard
+	_, err := stream.ShardedForEachBatch(src, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := &shards[shard]
+			if !st.init {
+				st.pos, _ = stream.ShardRange(m, shard)
+				st.next = sort.SearchInts(positions, st.pos)
+				st.init = true
+			}
+			pos, next := st.pos, st.next
 			for _, e := range batch {
 				for next < r && positions[next] == pos {
 					sample[next] = e.Normalize()
 					next++
 				}
 				pos++
-				if next >= r {
-					break
-				}
 			}
-		}
-	}
-	if next < r {
-		return nil, fmt.Errorf("core: stream ended at %d edges, expected %d", pos, m)
+			st.pos, st.next = pos, next
+			return nil
+		},
+		func(int) error { return nil })
+	if err != nil {
+		return nil, err
 	}
 	return sample, nil
 }

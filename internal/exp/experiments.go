@@ -77,7 +77,8 @@ func E1SpaceComparison(scale Scale) ([]*Table, error) {
 		}
 		algos := []algo{
 			{"exact", func(trial int) (core.Result, error) {
-				return baseline.Exact(w.Stream(trial))
+				// One worker: RunTrials already fans trials across the cores.
+				return baseline.ExactWorkers(w.Stream(trial), 1)
 			}},
 			{"degeneracy (this paper)", CoreRunner(w, DefaultCoreConfig(w, 0.1))},
 			{"heavy-light (m^1.5/T)", func(trial int) (core.Result, error) {

@@ -114,9 +114,19 @@ func RunTrialsWorkers(run Runner, trials int, truth float64, workers int) (Trial
 // workload, using the exact κ and T of the workload for parameter setting
 // (the controlled setting used by most experiments) and varying seeds per
 // trial.
+//
+// RunTrials already fans the trials themselves out over the cores, so unless
+// the caller asked for intra-run parallelism explicitly the estimator runs
+// its passes with one shard worker — otherwise every one of GOMAXPROCS
+// concurrent trials would spawn GOMAXPROCS more shard workers and the
+// machine would schedule cores² competing goroutines. (The estimate is
+// identical either way; only scheduling differs.)
 func CoreRunner(w Workload, cfg core.Config) Runner {
 	return func(trial int) (core.Result, error) {
 		runCfg := cfg
+		if runCfg.Workers == 0 {
+			runCfg.Workers = 1
+		}
 		runCfg.Seed = cfg.Seed + uint64(trial)*7919
 		return core.EstimateTriangles(w.Stream(trial), runCfg)
 	}

@@ -1,0 +1,54 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-size bit array. The estimators use one bit per
+// closure-check item in the sharded passes: each shard sets hits in its own
+// Bitset and the shards are OR-merged in shard order, which replaces the
+// unsynchronized "write true into a shared bool" of the sequential code.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset returns a zeroed bitset of n bits.
+func NewBitset(n int) *Bitset {
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.words[uint(i)/64] |= 1 << (uint(i) % 64)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[uint(i)/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Or merges other into b. The two bitsets must have the same length.
+func (b *Bitset) Or(other *Bitset) {
+	if other.n != b.n {
+		panic("graph: Bitset.Or with mismatched lengths")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear zeroes every bit, letting a pooled bitset be reused.
+func (b *Bitset) Clear() {
+	clear(b.words)
+}

@@ -85,6 +85,31 @@ func NewSortedCounter(keys []int) *SortedCounter {
 	return &SortedCounter{keys: keys, counts: make([]int, len(keys)), rank: buildRank(keys)}
 }
 
+// Fork returns a counter over the same key set with all counts zero. The key
+// array and rank table are shared (they are read-only after construction), so
+// a Fork is cheap: it is the per-shard accumulator of a sharded pass, merged
+// back with Merge.
+func (c *SortedCounter) Fork() *SortedCounter {
+	return &SortedCounter{keys: c.keys, counts: make([]int, len(c.keys)), rank: c.rank}
+}
+
+// Merge adds the counts of other — a Fork of the same counter (or any counter
+// with an identical key set) — into c. It panics if the key sets differ in
+// size, which is a programming error in the caller.
+func (c *SortedCounter) Merge(other *SortedCounter) {
+	if len(other.counts) != len(c.counts) {
+		panic("graph: SortedCounter.Merge with mismatched key sets")
+	}
+	for i, n := range other.counts {
+		c.counts[i] += n
+	}
+}
+
+// ResetCounts zeroes every count, letting a pooled Fork be reused.
+func (c *SortedCounter) ResetCounts() {
+	clear(c.counts)
+}
+
 // Len returns the number of distinct keys.
 func (c *SortedCounter) Len() int { return len(c.keys) }
 
@@ -219,6 +244,57 @@ type packedItem struct {
 	item int32
 }
 
+// sortPackedItems orders pairs by key with insertion order preserved within
+// equal keys. Large inputs take a stable LSD radix sort over the key bytes
+// (Θ(n) per byte, skipping constant bytes — the closure-check indexes of a
+// big run hold millions of keys); small inputs use a comparison sort with the
+// item index as the tiebreak, which reproduces the same order.
+func sortPackedItems(pairs []packedItem) {
+	const radixMin = 1024
+	if len(pairs) < radixMin {
+		slices.SortFunc(pairs, func(a, b packedItem) int {
+			if a.key != b.key {
+				if a.key < b.key {
+					return -1
+				}
+				return 1
+			}
+			return int(a.item) - int(b.item)
+		})
+		return
+	}
+	var maxKey uint64
+	for _, p := range pairs {
+		if p.key > maxKey {
+			maxKey = p.key
+		}
+	}
+	buf := make([]packedItem, len(pairs))
+	src, dst := pairs, buf
+	for shift := uint(0); shift < 64 && maxKey>>shift > 0; shift += 8 {
+		var counts [256]int
+		for _, p := range src {
+			counts[(p.key>>shift)&0xff]++
+		}
+		if counts[(src[0].key>>shift)&0xff] == len(src) {
+			continue
+		}
+		sum := 0
+		for i := range counts {
+			counts[i], sum = sum, sum+counts[i]
+		}
+		for _, p := range src {
+			b := (p.key >> shift) & 0xff
+			dst[counts[b]] = p
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
 // NewEdgeIndex groups items by their (normalized) edge key: edgeOf[i] is the
 // key of item i. Items with equal keys keep their relative order (the sort
 // tiebreaks on the item index, which reproduces insertion order).
@@ -262,15 +338,7 @@ func newPackedEdgeIndex(edgeOf []Edge) *EdgeIndex {
 		n := e.Normalize()
 		pairs[i] = packedItem{key: uint64(n.U)<<32 | uint64(n.V), item: int32(i)}
 	}
-	slices.SortFunc(pairs, func(a, b packedItem) int {
-		if a.key != b.key {
-			if a.key < b.key {
-				return -1
-			}
-			return 1
-		}
-		return int(a.item) - int(b.item)
-	})
+	sortPackedItems(pairs)
 
 	ix := &EdgeIndex{items: make([]int32, len(pairs))}
 	for i, p := range pairs {

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestSortedCounterForkMerge(t *testing.T) {
+	base := NewSortedCounter([]int{5, 1, 9, 1, 5})
+	a, b := base.Fork(), base.Fork()
+	a.Inc(1)
+	a.Inc(5)
+	b.Inc(5)
+	b.Inc(9)
+	b.Inc(9)
+	base.Inc(1)
+	base.Merge(a)
+	base.Merge(b)
+	for _, tc := range []struct{ key, want int }{{1, 2}, {5, 2}, {9, 2}, {7, 0}} {
+		got, _ := base.Get(tc.key)
+		if got != tc.want {
+			t.Errorf("count(%d) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	a.ResetCounts()
+	if n, _ := a.Get(1); n != 0 {
+		t.Errorf("ResetCounts left count(1) = %d", n)
+	}
+	if n, _ := base.Get(1); n != 2 {
+		t.Errorf("ResetCounts of a fork mutated the base: count(1) = %d", n)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	a := NewBitset(130)
+	b := NewBitset(130)
+	a.Set(0)
+	a.Set(64)
+	b.Set(64)
+	b.Set(129)
+	a.Or(b)
+	for _, i := range []int{0, 64, 129} {
+		if !a.Test(i) {
+			t.Errorf("bit %d not set after Or", i)
+		}
+	}
+	if a.Test(1) || a.Test(128) {
+		t.Error("unexpected bit set")
+	}
+	if a.Count() != 3 {
+		t.Errorf("Count = %d, want 3", a.Count())
+	}
+	a.Clear()
+	if a.Count() != 0 || a.Test(64) {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestTriangleIndex(t *testing.T) {
+	tris := []Triangle{
+		NewTriangle(5, 2, 9),
+		NewTriangle(1, 2, 3),
+		NewTriangle(2, 5, 9), // duplicate of the first
+		NewTriangle(0, 7, 8),
+	}
+	ix := NewTriangleIndex(tris)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	// Sorted triple order: (0,7,8) < (1,2,3) < (2,5,9).
+	want := []Triangle{NewTriangle(0, 7, 8), NewTriangle(1, 2, 3), NewTriangle(2, 5, 9)}
+	for i, w := range want {
+		if ix.TriangleAt(i) != w {
+			t.Errorf("TriangleAt(%d) = %v, want %v", i, ix.TriangleAt(i), w)
+		}
+		if ix.Lookup(w) != i {
+			t.Errorf("Lookup(%v) = %d, want %d", w, ix.Lookup(w), i)
+		}
+	}
+	if ix.Lookup(NewTriangle(1, 2, 4)) != -1 {
+		t.Error("Lookup of absent triangle should be -1")
+	}
+}
+
+// TestTriangleCountWorkers pins the parallel counter to the sequential one
+// across worker counts on a graph large enough to take the chunked path.
+func TestTriangleCountWorkers(t *testing.T) {
+	b := NewBuilder(0)
+	// A long triangular strip: ~3000 vertices, one triangle per step.
+	for v := 0; v+2 < 3000; v++ {
+		b.AddEdge(v, v+1)
+		b.AddEdge(v, v+2)
+	}
+	g := b.Build()
+	want := g.TriangleCountWorkers(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := g.TriangleCountWorkers(workers); got != want {
+			t.Errorf("TriangleCountWorkers(%d) = %d, want %d", workers, got, want)
+		}
+	}
+	if got := g.TriangleCountBrute(); got != want {
+		t.Errorf("brute-force count %d disagrees with %d", got, want)
+	}
+}
+
+// TestTriangleIndexLargeIDs exercises the unpacked fallback (vertices beyond
+// the 21-bit packing limit).
+func TestTriangleIndexLargeIDs(t *testing.T) {
+	big := triPackLimit + 100
+	tris := []Triangle{
+		NewTriangle(1, 2, big),
+		NewTriangle(0, 1, 2),
+		NewTriangle(1, 2, big), // duplicate
+	}
+	ix := NewTriangleIndex(tris)
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	if ix.packed != nil {
+		t.Fatal("index should not pack vertices beyond the 21-bit limit")
+	}
+	if got := ix.Lookup(NewTriangle(1, 2, big)); got != 1 {
+		t.Errorf("Lookup(large) = %d, want 1", got)
+	}
+	if ix.Lookup(NewTriangle(3, 4, big)) != -1 {
+		t.Error("Lookup of absent large triangle should be -1")
+	}
+}

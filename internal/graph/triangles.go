@@ -1,26 +1,92 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // TriangleCount returns the exact number of triangles T in the graph using
 // the degeneracy-oriented node iterator: every edge is oriented along a
 // degeneracy ordering, and for every vertex the intersections of out-
-// neighborhoods are counted. The running time is O(mκ), matching
-// Chiba–Nishizeki up to constants.
+// neighborhoods are counted. The total work is O(mκ), matching
+// Chiba–Nishizeki up to constants, spread over GOMAXPROCS workers (the
+// per-vertex counts are independent and their int64 sum is exact, so the
+// result is identical at any worker count).
 func (g *Graph) TriangleCount() int64 {
+	return g.TriangleCountWorkers(0)
+}
+
+// triangleCountChunk is the vertex-range granularity of the parallel
+// counter: small enough to balance skewed out-degree distributions, large
+// enough that the claim counter is not contended.
+const triangleCountChunk = 1024
+
+// TriangleCountWorkers is TriangleCount with an explicit worker count;
+// workers <= 0 selects GOMAXPROCS. Workers claim contiguous vertex ranges and
+// sum per-range counts, so ground-truth computation scales with cores instead
+// of dominating experiment wall-clock.
+func (g *Graph) TriangleCountWorkers(workers int) int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	out, _ := g.DegeneracyOrientation()
-	// Sort out-neighbor lists so pairwise intersection is a sorted merge.
-	for v := range out {
-		sort.Ints(out[v])
-	}
-	var count int64
-	for v := 0; v < g.n; v++ {
-		ov := out[v]
-		for _, w := range ov {
-			count += int64(sortedIntersectionSize(ov, out[w]))
+
+	countRange := func(lo, hi int) int64 {
+		var count int64
+		for v := lo; v < hi; v++ {
+			ov := out[v]
+			for _, w := range ov {
+				count += int64(sortedIntersectionSize(ov, out[w]))
+			}
 		}
+		return count
 	}
-	return count
+
+	if workers == 1 || g.n < 2*triangleCountChunk {
+		for v := range out {
+			sort.Ints(out[v])
+		}
+		return countRange(0, g.n)
+	}
+
+	// Phase 1: sort out-neighbor lists so pairwise intersection is a sorted
+	// merge; each vertex's list is touched by exactly one worker.
+	// Phase 2: count over claimed vertex ranges. Both phases hand out chunks
+	// through an atomic cursor.
+	chunks := (g.n + triangleCountChunk - 1) / triangleCountChunk
+	runPhase := func(phase func(lo, hi int)) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					lo := c * triangleCountChunk
+					hi := min(lo+triangleCountChunk, g.n)
+					phase(lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	runPhase(func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sort.Ints(out[v])
+		}
+	})
+	var total atomic.Int64
+	runPhase(func(lo, hi int) {
+		total.Add(countRange(lo, hi))
+	})
+	return total.Load()
 }
 
 // TriangleCountBrute counts triangles by enumerating all vertex triples that

@@ -1,0 +1,99 @@
+package graph
+
+import "slices"
+
+// TriangleIndex assigns dense ids [0, Len) to a set of triangles, ordered by
+// sorted vertex triple. When every vertex fits in 21 bits (over two million
+// vertices — always the case for the dense IDs of this repository) the keys
+// are packed into one uint64 and a lookup is a binary search over machine
+// words; otherwise it falls back to searching the sorted Triangle structs.
+// It replaces the map[Triangle]T memo tables of the assignment procedure with
+// a structure whose iteration order is deterministic.
+type TriangleIndex struct {
+	tris   []Triangle // distinct triangles, sorted by (A, B, C)
+	packed []uint64   // packed keys of tris, nil when some vertex overflows
+}
+
+// triPackLimit bounds the per-vertex ID for the packed representation: three
+// 21-bit fields fit one uint64.
+const triPackLimit = 1 << 21
+
+// packTriangle packs a (sorted) triangle into a single comparable word. The
+// field order (A high) makes packed order equal lexicographic triple order.
+func packTriangle(t Triangle) uint64 {
+	return uint64(t.A)<<42 | uint64(t.B)<<21 | uint64(t.C)
+}
+
+// NewTriangleIndex builds the index over the distinct values of tris, which
+// is consumed (sorted in place).
+func NewTriangleIndex(tris []Triangle) *TriangleIndex {
+	packable := true
+	for _, t := range tris {
+		if t.C >= triPackLimit || t.A < 0 {
+			packable = false
+			break
+		}
+	}
+	slices.SortFunc(tris, func(a, b Triangle) int {
+		switch {
+		case a.A != b.A:
+			return a.A - b.A
+		case a.B != b.B:
+			return a.B - b.B
+		default:
+			return a.C - b.C
+		}
+	})
+	tris = slices.Compact(tris)
+	ix := &TriangleIndex{tris: tris}
+	if packable {
+		ix.packed = make([]uint64, len(tris))
+		for i, t := range tris {
+			ix.packed[i] = packTriangle(t)
+		}
+	}
+	return ix
+}
+
+// Len returns the number of distinct triangles.
+func (ix *TriangleIndex) Len() int { return len(ix.tris) }
+
+// TriangleAt returns the triangle with id i.
+func (ix *TriangleIndex) TriangleAt(i int) Triangle { return ix.tris[i] }
+
+// Lookup returns the id of t, or -1 when t is not in the index.
+func (ix *TriangleIndex) Lookup(t Triangle) int {
+	if ix.packed != nil {
+		if t.C >= triPackLimit || t.A < 0 {
+			return -1
+		}
+		key := packTriangle(t)
+		lo, hi := 0, len(ix.packed)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ix.packed[mid] < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ix.packed) && ix.packed[lo] == key {
+			return lo
+		}
+		return -1
+	}
+	lo, hi := 0, len(ix.tris)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := ix.tris[mid]
+		if c.A < t.A || (c.A == t.A && (c.B < t.B || (c.B == t.B && c.C < t.C))) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ix.tris) && ix.tris[lo] == t {
+		return lo
+	}
+	return -1
+}

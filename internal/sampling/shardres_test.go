@@ -1,0 +1,140 @@
+package sampling
+
+import "testing"
+
+func TestMixSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for pass := uint64(0); pass < 4; pass++ {
+		for inst := uint64(0); inst < 32; inst++ {
+			for shard := uint64(0); shard < 8; shard++ {
+				s := MixSeed(7, pass, inst, shard)
+				if seen[s] {
+					t.Fatalf("MixSeed collision at (%d,%d,%d)", pass, inst, shard)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if MixSeed(7, 1, 2) != MixSeed(7, 1, 2) {
+		t.Fatal("MixSeed not deterministic")
+	}
+	if MixSeed(7, 1, 2) == MixSeed(8, 1, 2) {
+		t.Fatal("MixSeed ignores the base seed")
+	}
+}
+
+// TestRes1Uniform checks that the skip-ahead reservoir selects each stream
+// position with roughly equal frequency.
+func TestRes1Uniform(t *testing.T) {
+	const n, trials = 20, 40000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		var r Res1
+		r.Init(MixSeed(3, uint64(trial)))
+		for v := 0; v < n; v++ {
+			r.Offer(v)
+		}
+		if r.N != n {
+			t.Fatalf("N = %d, want %d", r.N, n)
+		}
+		counts[r.W]++
+	}
+	want := float64(trials) / float64(n)
+	for v, c := range counts {
+		if float64(c) < 0.85*want || float64(c) > 1.15*want {
+			t.Errorf("position %d selected %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+// TestRes1MergeUniform checks that merging per-shard reservoirs in shard
+// order yields a uniform sample over the concatenated stream, including with
+// empty and uneven shards.
+func TestRes1MergeUniform(t *testing.T) {
+	const trials = 40000
+	bounds := []int{0, 3, 3, 10, 11, 20} // shard ranges over positions [0,20)
+	n := bounds[len(bounds)-1]
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		var m Res1Merger
+		m.Init(MixSeed(9, uint64(trial)))
+		for s := 0; s+1 < len(bounds); s++ {
+			var r Res1
+			r.Init(MixSeed(5, uint64(trial), uint64(s)))
+			for v := bounds[s]; v < bounds[s+1]; v++ {
+				r.Offer(v)
+			}
+			m.Absorb(&r)
+		}
+		if !m.Has() || m.N != int64(n) {
+			t.Fatalf("merger N = %d, want %d", m.N, n)
+		}
+		counts[m.W]++
+	}
+	want := float64(trials) / float64(n)
+	for v, c := range counts {
+		if float64(c) < 0.85*want || float64(c) > 1.15*want {
+			t.Errorf("position %d selected %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+// TestResKMergeUniform checks the bank variant: every sub-reservoir of the
+// merged bank is a uniform sample of the concatenated stream.
+func TestResKMergeUniform(t *testing.T) {
+	const k, trials = 3, 20000
+	bounds := []int{0, 1, 16, 16, 24}
+	n := bounds[len(bounds)-1]
+	counts := make([][]int, k)
+	for j := range counts {
+		counts[j] = make([]int, n)
+	}
+	for trial := 0; trial < trials; trial++ {
+		var m ResKMerger
+		m.Init(MixSeed(11, uint64(trial)), k)
+		for s := 0; s+1 < len(bounds); s++ {
+			var r ResK
+			r.Init(MixSeed(13, uint64(trial), uint64(s)), k)
+			for v := bounds[s]; v < bounds[s+1]; v++ {
+				r.Offer(v)
+			}
+			m.Absorb(&r)
+		}
+		for j := 0; j < k; j++ {
+			counts[j][m.W[j]]++
+		}
+	}
+	want := float64(trials) / float64(n)
+	for j := range counts {
+		for v, c := range counts[j] {
+			if float64(c) < 0.8*want || float64(c) > 1.2*want {
+				t.Errorf("sub-reservoir %d position %d selected %d times, want ~%.0f", j, v, c, want)
+			}
+		}
+	}
+}
+
+// TestResKReuse checks that Init recycles slices without leaking state
+// between uses (the per-shard banks are pooled by the estimators).
+func TestResKReuse(t *testing.T) {
+	var r ResK
+	r.Init(1, 5)
+	for v := 0; v < 100; v++ {
+		r.Offer(v)
+	}
+	r.Init(2, 3)
+	if r.N != 0 || r.K() != 3 {
+		t.Fatalf("reused bank not reset: N=%d k=%d", r.N, r.K())
+	}
+	for j, w := range r.W {
+		if w != -1 {
+			t.Fatalf("reused bank sub-reservoir %d holds stale sample %d", j, w)
+		}
+	}
+	r.Offer(42)
+	for j, w := range r.W {
+		if w != 42 {
+			t.Fatalf("first offer not accepted by sub-reservoir %d (got %d)", j, w)
+		}
+	}
+}

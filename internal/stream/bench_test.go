@@ -132,3 +132,62 @@ func BenchmarkFileStreamPass(b *testing.B) {
 	}
 	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 }
+
+// BenchmarkBexStreamPass measures a full batched pass over the binary .bex
+// format — the fixed-width counterpart of BenchmarkFileStreamPass.
+func BenchmarkBexStreamPass(b *testing.B) {
+	edges := benchEdges(1 << 15)
+	path := b.TempDir() + "/bench-edges.bex"
+	if _, err := WriteBexFile(path, FromEdges(edges)); err != nil {
+		b.Fatal(err)
+	}
+	bs, err := OpenBex(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	m := len(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := CountEdges(bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != m {
+			b.Fatalf("pass saw %d edges, want %d", n, m)
+		}
+	}
+	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// benchmarkShardedPass measures the sharded engine over an in-memory stream
+// at the given worker count (process cost: one add per edge).
+func benchmarkShardedPass(b *testing.B, workers int) {
+	b.Helper()
+	edges := benchEdges(1 << 17)
+	s := NewPassCounter(FromEdges(edges))
+	var sums [NumShards]int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := ShardedForEachBatch(s, len(edges), workers,
+			func(shard int, batch []graph.Edge) error {
+				acc := 0
+				for _, e := range batch {
+					acc += e.U
+				}
+				sums[shard] += acc
+				return nil
+			},
+			func(int) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkShardedPassWorkers1 measures the engine's sequential fallback.
+func BenchmarkShardedPassWorkers1(b *testing.B) { benchmarkShardedPass(b, 1) }
+
+// BenchmarkShardedPassWorkers4 measures the engine's parallel path.
+func BenchmarkShardedPassWorkers4(b *testing.B) { benchmarkShardedPass(b, 4) }

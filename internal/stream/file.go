@@ -2,6 +2,8 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,20 +11,116 @@ import (
 	"degentri/internal/graph"
 )
 
+const (
+	// fileBufSize is the read buffer of the text parser. A wide buffer keeps
+	// the parse loop in large sequential reads; the old 64 KiB scanner buffer
+	// left FileStream an order of magnitude behind the in-memory path.
+	fileBufSize = 1 << 20
+	// fileIndexGranularity is the spacing of the shard index: during a full
+	// pass the stream records the byte offset (and line number) of every
+	// 1024th edge, which lets RangeStream seek near any position and skip at
+	// most 1023 edges while keeping diagnostics in real file coordinates. The
+	// index costs 12 bytes per 1024 edges (≈1.2 MB per 10⁸ edges).
+	fileIndexGranularity = 1024
+	// maxLineBytes bounds a single input line. A newline-free multi-gigabyte
+	// file (binary data, one-line JSON) fails with a clean error instead of
+	// doubling the read buffer until the process dies.
+	maxLineBytes = 16 << 20
+)
+
+// errLineTooLong is wrapped with the file path by the stream that hits it.
+var errLineTooLong = errors.New("line longer than 16 MiB (not an edge list?)")
+
+// lineReader yields newline-delimited lines straight out of a wide buffer,
+// tracking the absolute file offset of each line start (the raw material of
+// the shard index). Unlike bufio.Scanner it exposes those offsets and grows
+// its buffer in place for over-long lines.
+type lineReader struct {
+	file *os.File
+	buf  []byte
+	r, w int
+	abs  int64 // file offset of buf[r]
+	eof  bool
+}
+
+func (lr *lineReader) init(file *os.File, off int64, buf []byte) {
+	if buf == nil {
+		buf = make([]byte, fileBufSize)
+	}
+	*lr = lineReader{file: file, buf: buf, abs: off}
+}
+
+// next returns the next line (without its newline), the file offset of its
+// first byte, and ok=false at end of input.
+func (lr *lineReader) next() (line []byte, start int64, ok bool, err error) {
+	for {
+		if i := bytes.IndexByte(lr.buf[lr.r:lr.w], '\n'); i >= 0 {
+			line = lr.buf[lr.r : lr.r+i]
+			start = lr.abs
+			lr.r += i + 1
+			lr.abs += int64(i) + 1
+			return line, start, true, nil
+		}
+		if lr.eof {
+			if lr.r == lr.w {
+				return nil, 0, false, nil
+			}
+			line = lr.buf[lr.r:lr.w] // final line without trailing newline
+			start = lr.abs
+			lr.abs += int64(lr.w - lr.r)
+			lr.r = lr.w
+			return line, start, true, nil
+		}
+		if lr.r > 0 {
+			copy(lr.buf, lr.buf[lr.r:lr.w])
+			lr.w -= lr.r
+			lr.r = 0
+		}
+		if lr.w == len(lr.buf) {
+			if len(lr.buf) >= maxLineBytes {
+				return nil, 0, false, errLineTooLong
+			}
+			grown := make([]byte, 2*len(lr.buf))
+			copy(grown, lr.buf[:lr.w])
+			lr.buf = grown
+		}
+		n, rerr := lr.file.Read(lr.buf[lr.w:])
+		lr.w += n
+		if rerr == io.EOF {
+			lr.eof = true
+		} else if rerr != nil {
+			return nil, 0, false, rerr
+		}
+	}
+}
+
 // FileStream streams edges from a whitespace-separated edge-list text file:
 // one edge per line, "u v", with '#' or '%' prefixed lines treated as
-// comments. The file is re-opened (rewound) on every Reset, so a FileStream
-// uses O(1) memory regardless of graph size. Lines are parsed byte-by-byte
-// without per-line allocations.
+// comments. The file is rewound on every Reset, so a FileStream uses O(1)
+// memory (plus the shard index) regardless of graph size. Lines are parsed
+// byte-by-byte out of a wide read buffer without per-line allocations.
+//
+// The first pass that runs to completion additionally records a sparse
+// position→byte-offset index, after which the stream supports RangeStream
+// and sharded passes can read it with concurrent workers (each range opens
+// its own file handle).
 type FileStream struct {
 	path    string
 	file    *os.File
-	scanner *bufio.Scanner
+	lr      lineReader
+	active  bool
 	line    int
+	pos     int // edges delivered in the current pass
 	m       int
 	mKnown  bool
 	batch   []graph.Edge // scratch for NextBatch(nil)
 	pending error        // parse/read error to surface after a partial batch
+
+	index      []int64 // byte offset of the line of every fileIndexGranularity-th edge
+	indexLines []int32 // 1-based line number of each index entry
+	indexDone  bool
+	indexing   bool // current pass is recording the index
+	broken     bool // current pass hit a parse/read error; don't trust pos at EOF
 }
 
 // OpenFile returns a FileStream over the given edge-list file. The file is
@@ -31,51 +129,91 @@ func OpenFile(path string) *FileStream {
 	return &FileStream{path: path}
 }
 
-// Reset implements Stream by (re)opening the file.
+// Reset implements Stream by rewinding (or opening) the file.
 func (f *FileStream) Reset() error {
-	if f.file != nil {
-		if _, err := f.file.Seek(0, io.SeekStart); err != nil {
-			f.file.Close()
-			f.file = nil
-		}
-	}
 	if f.file == nil {
 		file, err := os.Open(f.path)
 		if err != nil {
 			return fmt.Errorf("stream: open %s: %w", f.path, err)
 		}
 		f.file = file
+	} else if _, err := f.file.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: rewind %s: %w", f.path, err)
 	}
-	f.scanner = bufio.NewScanner(f.file)
-	f.scanner.Buffer(make([]byte, 64*1024), 1<<20)
+	f.lr.init(f.file, 0, f.lr.buf)
+	f.active = true
 	f.line = 0
+	f.pos = 0
 	f.pending = nil
+	f.broken = false
+	f.indexing = !f.indexDone
+	if f.indexing {
+		f.index = f.index[:0]
+		f.indexLines = f.indexLines[:0]
+	}
 	return nil
+}
+
+// abortPass marks the current pass unusable for length discovery and
+// indexing (a parse or read error occurred).
+func (f *FileStream) abortPass() {
+	f.indexing = false
+	f.broken = true
+}
+
+// deliver records index/position bookkeeping for one decoded edge.
+func (f *FileStream) deliver(start int64) {
+	if f.indexing && f.pos%fileIndexGranularity == 0 {
+		f.index = append(f.index, start)
+		f.indexLines = append(f.indexLines, int32(f.line))
+	}
+	f.pos++
+}
+
+// endOfPass finalizes a cleanly completed pass: the stream length is now
+// known and the shard index is complete.
+func (f *FileStream) endOfPass() {
+	if f.broken {
+		return
+	}
+	f.m = f.pos
+	f.mKnown = true
+	if f.indexing {
+		f.indexing = false
+		f.indexDone = true
+	}
 }
 
 // Next implements Stream.
 func (f *FileStream) Next() (graph.Edge, error) {
-	if f.scanner == nil {
+	if !f.active {
 		return graph.Edge{}, ErrNoPass
 	}
 	if err := f.pending; err != nil {
 		f.pending = nil
 		return graph.Edge{}, err
 	}
-	for f.scanner.Scan() {
-		f.line++
-		e, ok, err := f.parseLine(f.scanner.Bytes())
+	for {
+		line, start, ok, err := f.lr.next()
 		if err != nil {
-			return graph.Edge{}, err
+			f.abortPass()
+			return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", f.path, err)
 		}
-		if ok {
+		if !ok {
+			f.endOfPass()
+			return graph.Edge{}, ErrEndOfPass
+		}
+		f.line++
+		e, isEdge, perr := parseEdgeLine(f.path, f.line, line)
+		if perr != nil {
+			f.abortPass()
+			return graph.Edge{}, perr
+		}
+		if isEdge {
+			f.deliver(start)
 			return e, nil
 		}
 	}
-	if err := f.scanner.Err(); err != nil {
-		return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", f.path, err)
-	}
-	return graph.Edge{}, ErrEndOfPass
 }
 
 // NextBatch implements Stream, filling buf (or an internal scratch buffer of
@@ -83,7 +221,7 @@ func (f *FileStream) Next() (graph.Edge, error) {
 // occurs after at least one edge was decoded is delivered on the next call,
 // so no edges are lost.
 func (f *FileStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
-	if f.scanner == nil {
+	if !f.active {
 		return nil, ErrNoPass
 	}
 	if err := f.pending; err != nil {
@@ -97,66 +235,71 @@ func (f *FileStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 		buf = f.batch
 	}
 	n := 0
-	for n < len(buf) && f.scanner.Scan() {
-		f.line++
-		e, ok, err := f.parseLine(f.scanner.Bytes())
+	for n < len(buf) {
+		line, start, ok, err := f.lr.next()
 		if err != nil {
+			f.abortPass()
+			err = fmt.Errorf("stream: reading %s: %w", f.path, err)
 			if n == 0 {
 				return nil, err
 			}
 			f.pending = err
 			return buf[:n], nil
 		}
-		if ok {
+		if !ok {
+			f.endOfPass()
+			if n == 0 {
+				return nil, ErrEndOfPass
+			}
+			return buf[:n], nil
+		}
+		f.line++
+		e, isEdge, perr := parseEdgeLine(f.path, f.line, line)
+		if perr != nil {
+			f.abortPass()
+			if n == 0 {
+				return nil, perr
+			}
+			f.pending = perr
+			return buf[:n], nil
+		}
+		if isEdge {
+			f.deliver(start)
 			buf[n] = e
 			n++
 		}
 	}
-	if n == len(buf) && n > 0 {
-		return buf[:n], nil
-	}
-	if err := f.scanner.Err(); err != nil {
-		err = fmt.Errorf("stream: reading %s: %w", f.path, err)
-		if n == 0 {
-			return nil, err
-		}
-		f.pending = err
-		return buf[:n], nil
-	}
-	if n == 0 {
-		return nil, ErrEndOfPass
-	}
 	return buf[:n], nil
 }
 
-// parseLine decodes one edge-list line. It returns ok=false for blank and
-// comment lines. The parse allocates nothing.
-func (f *FileStream) parseLine(line []byte) (graph.Edge, bool, error) {
+// parseEdgeLine decodes one edge-list line. It returns isEdge=false for blank
+// and comment lines. The parse allocates nothing.
+func parseEdgeLine(path string, lineNo int, line []byte) (graph.Edge, bool, error) {
 	i := skipSpace(line, 0)
 	if i == len(line) || line[i] == '#' || line[i] == '%' {
 		return graph.Edge{}, false, nil
 	}
-	u, i, err := f.parseVertex(line, i)
+	u, i, err := parseVertex(path, lineNo, line, i)
 	if err != nil {
 		return graph.Edge{}, false, err
 	}
 	i = skipSpace(line, i)
 	if i == len(line) {
-		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: malformed edge line %q", f.path, f.line, line)
+		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: malformed edge line %q", path, lineNo, line)
 	}
-	v, _, err := f.parseVertex(line, i)
+	v, _, err := parseVertex(path, lineNo, line, i)
 	if err != nil {
 		return graph.Edge{}, false, err
 	}
 	if u < 0 || v < 0 {
-		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: negative vertex id", f.path, f.line)
+		return graph.Edge{}, false, fmt.Errorf("stream: %s:%d: negative vertex id", path, lineNo)
 	}
 	return graph.Edge{U: u, V: v}, true, nil
 }
 
 // parseVertex decodes a decimal integer field starting at i, returning the
 // value and the index one past the field.
-func (f *FileStream) parseVertex(line []byte, i int) (int, int, error) {
+func parseVertex(path string, lineNo int, line []byte, i int) (int, int, error) {
 	start := i
 	neg := false
 	if i < len(line) && (line[i] == '-' || line[i] == '+') {
@@ -175,7 +318,7 @@ func (f *FileStream) parseVertex(line []byte, i int) (int, int, error) {
 		for end < len(line) && !isSpace(line[end]) {
 			end++
 		}
-		return 0, i, fmt.Errorf("stream: %s:%d: bad vertex %q: invalid syntax", f.path, f.line, line[start:end])
+		return 0, i, fmt.Errorf("stream: %s:%d: bad vertex %q: invalid syntax", path, lineNo, line[start:end])
 	}
 	if neg {
 		val = -val
@@ -195,7 +338,7 @@ func isSpace(c byte) bool {
 }
 
 // Len implements Stream. The length is unknown until a full pass (or
-// CountEdges) has been completed and recorded via SetLen.
+// CountEdges) has been completed or SetLen called.
 func (f *FileStream) Len() (int, bool) { return f.m, f.mKnown }
 
 // SetLen records the number of edges after a counting pass so later callers
@@ -205,15 +348,182 @@ func (f *FileStream) SetLen(m int) {
 	f.mKnown = true
 }
 
+// RangeStream implements RangeStreamer once an indexing pass has completed:
+// the sub-stream opens its own file handle, seeks to the indexed line nearest
+// lo, skips forward, and delivers exactly hi-lo edges. Before the first
+// complete pass it reports ok=false and sharded passes fall back to one
+// sequential scan (which itself builds the index).
+func (f *FileStream) RangeStream(lo, hi int) (Stream, bool) {
+	if !f.indexDone || lo < 0 || hi < lo || hi > f.m {
+		return nil, false
+	}
+	return &fileRange{path: f.path, lo: lo, hi: hi, index: f.index, indexLines: f.indexLines}, true
+}
+
 // Close releases the underlying file handle. The stream can be Reset again
-// afterwards (it will re-open the file).
+// afterwards (it will re-open the file); the shard index survives.
 func (f *FileStream) Close() error {
 	if f.file == nil {
 		return nil
 	}
 	err := f.file.Close()
 	f.file = nil
-	f.scanner = nil
+	f.active = false
+	return err
+}
+
+// fileRange is an independent stream over edge positions [lo, hi) of an
+// indexed edge-list file, with its own file handle and parse state.
+type fileRange struct {
+	path       string
+	lo, hi     int
+	index      []int64
+	indexLines []int32
+	file       *os.File
+	lr         lineReader
+	active     bool
+	line       int
+	remaining  int
+	batch      []graph.Edge
+	pending    error
+}
+
+// Reset implements Stream: seek to the indexed line at or before lo and
+// discard edges until position lo.
+func (r *fileRange) Reset() error {
+	r.remaining = r.hi - r.lo
+	r.active = true
+	r.pending = nil
+	r.line = 0
+	if r.remaining == 0 {
+		return nil
+	}
+	if r.file == nil {
+		file, err := os.Open(r.path)
+		if err != nil {
+			return fmt.Errorf("stream: open %s: %w", r.path, err)
+		}
+		r.file = file
+	}
+	slot := r.lo / fileIndexGranularity
+	off := r.index[slot]
+	if _, err := r.file.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: seek %s: %w", r.path, err)
+	}
+	r.lr.init(r.file, off, r.lr.buf)
+	// Resume line numbering from the indexed entry so parse errors report the
+	// same file:line a sequential pass would.
+	r.line = int(r.indexLines[slot]) - 1
+	for skip := r.lo - slot*fileIndexGranularity; skip > 0; skip-- {
+		if _, err := r.next(); err != nil {
+			if err == ErrEndOfPass {
+				return fmt.Errorf("stream: %s ended before position %d", r.path, r.lo)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// next decodes the next edge of the underlying file regardless of the range
+// budget (used both for skipping and for delivery).
+func (r *fileRange) next() (graph.Edge, error) {
+	for {
+		line, _, ok, err := r.lr.next()
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", r.path, err)
+		}
+		if !ok {
+			return graph.Edge{}, ErrEndOfPass
+		}
+		r.line++
+		e, isEdge, perr := parseEdgeLine(r.path, r.line, line)
+		if perr != nil {
+			return graph.Edge{}, perr
+		}
+		if isEdge {
+			return e, nil
+		}
+	}
+}
+
+// Next implements Stream.
+func (r *fileRange) Next() (graph.Edge, error) {
+	if !r.active {
+		return graph.Edge{}, ErrNoPass
+	}
+	if err := r.pending; err != nil {
+		r.pending = nil
+		return graph.Edge{}, err
+	}
+	if r.remaining <= 0 {
+		return graph.Edge{}, ErrEndOfPass
+	}
+	e, err := r.next()
+	if err == ErrEndOfPass {
+		return graph.Edge{}, fmt.Errorf("stream: %s ended %d edges into range [%d,%d)",
+			r.path, r.hi-r.lo-r.remaining, r.lo, r.hi)
+	}
+	if err != nil {
+		return graph.Edge{}, err
+	}
+	r.remaining--
+	return e, nil
+}
+
+// NextBatch implements Stream.
+func (r *fileRange) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	if !r.active {
+		return nil, ErrNoPass
+	}
+	if err := r.pending; err != nil {
+		r.pending = nil
+		return nil, err
+	}
+	if r.remaining <= 0 {
+		return nil, ErrEndOfPass
+	}
+	if len(buf) == 0 {
+		if r.batch == nil {
+			r.batch = make([]graph.Edge, DefaultBatchSize)
+		}
+		buf = r.batch
+	}
+	// Inline decode loop (mirrors FileStream.NextBatch): this is the per-edge
+	// hot path of every shard of a parallel text-file pass, so it should not
+	// pay a call plus re-checked state per edge.
+	n := 0
+	for n < len(buf) && r.remaining > 0 {
+		e, err := r.next()
+		if err != nil {
+			if err == ErrEndOfPass {
+				err = fmt.Errorf("stream: %s ended %d edges into range [%d,%d)",
+					r.path, r.hi-r.lo-r.remaining, r.lo, r.hi)
+			}
+			if n == 0 {
+				return nil, err
+			}
+			r.pending = err
+			return buf[:n], nil
+		}
+		r.remaining--
+		buf[n] = e
+		n++
+	}
+	return buf[:n], nil
+}
+
+// Len implements Stream.
+func (r *fileRange) Len() (int, bool) { return r.hi - r.lo, true }
+
+// Close releases the range's file handle.
+func (r *fileRange) Close() error {
+	if r.file == nil {
+		return nil
+	}
+	err := r.file.Close()
+	r.file = nil
+	r.active = false
 	return err
 }
 

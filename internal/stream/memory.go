@@ -1,6 +1,9 @@
 package stream
 
 import (
+	"io"
+	"sync/atomic"
+
 	"degentri/internal/graph"
 	"degentri/internal/sampling"
 )
@@ -83,15 +86,26 @@ func (s *MemoryStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 // Len implements Stream; the length of an in-memory stream is always known.
 func (s *MemoryStream) Len() (int, bool) { return len(s.edges), true }
 
+// RangeStream implements RangeStreamer: the sub-stream aliases the backing
+// slice (zero copies) and is always available.
+func (s *MemoryStream) RangeStream(lo, hi int) (Stream, bool) {
+	if lo < 0 || hi < lo || hi > len(s.edges) {
+		return nil, false
+	}
+	return FromEdges(s.edges[lo:hi:hi]), true
+}
+
 // Edges exposes the underlying order (for tests).
 func (s *MemoryStream) Edges() []graph.Edge { return s.edges }
 
 // PassCounter wraps a Stream and counts completed Reset calls, letting
-// experiments report exactly how many passes an algorithm used.
+// experiments report exactly how many passes an algorithm used. The read
+// counter is atomic so that the concurrent range sub-streams of a sharded
+// pass can charge their reads to the same meter.
 type PassCounter struct {
 	inner  Stream
 	passes int
-	reads  int64
+	reads  atomic.Int64
 }
 
 // NewPassCounter wraps the given stream.
@@ -112,7 +126,7 @@ func (p *PassCounter) Reset() error {
 func (p *PassCounter) Next() (graph.Edge, error) {
 	e, err := p.inner.Next()
 	if err == nil {
-		p.reads++
+		p.reads.Add(1)
 	}
 	return e, err
 }
@@ -120,15 +134,62 @@ func (p *PassCounter) Next() (graph.Edge, error) {
 // NextBatch implements Stream, charging the whole batch to the read counter.
 func (p *PassCounter) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 	batch, err := p.inner.NextBatch(buf)
-	p.reads += int64(len(batch))
+	p.reads.Add(int64(len(batch)))
 	return batch, err
 }
 
 // Len implements Stream.
 func (p *PassCounter) Len() (int, bool) { return p.inner.Len() }
 
+// RangeStream implements RangeStreamer when the wrapped stream does,
+// returning a sub-stream whose reads are charged to this counter (the pass
+// itself is charged by the engine's single Reset).
+func (p *PassCounter) RangeStream(lo, hi int) (Stream, bool) {
+	rs, ok := p.inner.(RangeStreamer)
+	if !ok {
+		return nil, false
+	}
+	sub, ok := rs.RangeStream(lo, hi)
+	if !ok {
+		return nil, false
+	}
+	return &countedRange{inner: sub, reads: &p.reads}, true
+}
+
+// countedRange forwards a range sub-stream while charging reads to the parent
+// PassCounter. It forwards Close when the wrapped stream needs one.
+type countedRange struct {
+	inner Stream
+	reads *atomic.Int64
+}
+
+func (c *countedRange) Reset() error { return c.inner.Reset() }
+
+func (c *countedRange) Next() (graph.Edge, error) {
+	e, err := c.inner.Next()
+	if err == nil {
+		c.reads.Add(1)
+	}
+	return e, err
+}
+
+func (c *countedRange) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	batch, err := c.inner.NextBatch(buf)
+	c.reads.Add(int64(len(batch)))
+	return batch, err
+}
+
+func (c *countedRange) Len() (int, bool) { return c.inner.Len() }
+
+func (c *countedRange) Close() error {
+	if closer, ok := c.inner.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
 // Passes returns how many passes have been started.
 func (p *PassCounter) Passes() int { return p.passes }
 
 // EdgesRead returns the total number of edges delivered across all passes.
-func (p *PassCounter) EdgesRead() int64 { return p.reads }
+func (p *PassCounter) EdgesRead() int64 { return p.reads.Load() }

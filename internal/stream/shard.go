@@ -1,0 +1,337 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"degentri/internal/graph"
+)
+
+// This file is the sharded pass engine: one logical pass over a stream is
+// partitioned into a fixed grid of NumShards contiguous position ranges that
+// can be processed by a bounded worker pool, with per-shard results merged in
+// ascending shard order. The grid is fixed — independent of the worker count
+// and of GOMAXPROCS — so that any state whose randomness is keyed by shard
+// index (see sampling.MixSeed) produces bit-identical results at any worker
+// count, including the workers == 1 sequential fallback. The engine is what
+// lets a *single* estimator run scale with cores while keeping the golden
+// determinism contract.
+
+// NumShards bounds the logical shard grid of a sharded pass. The grid for a
+// concrete pass is ActiveShards(m) contiguous ranges — a pure function of the
+// stream length, independent of the worker count and of GOMAXPROCS, which is
+// what keys the per-shard RNG streams and so keeps estimates bit-identical at
+// any parallelism. 64 shards keep every core busy on any realistic machine
+// while bounding the merge chain at a constant.
+const NumShards = 64
+
+// shardTargetEdges is the minimum shard size worth its bookkeeping: per-shard
+// reservoir state, merges, and pool traffic amortize over at least this many
+// edges. Streams shorter than 2× this run as one shard (purely sequential).
+const shardTargetEdges = 8192
+
+// ActiveShards returns the number of non-empty shards in the grid for a pass
+// of m edges: ⌈m/shardTargetEdges⌉ capped at NumShards. Shards with index >=
+// ActiveShards(m) are empty.
+func ActiveShards(m int) int {
+	a := (m + shardTargetEdges - 1) / shardTargetEdges
+	if a < 1 {
+		a = 1
+	}
+	if a > NumShards {
+		a = NumShards
+	}
+	return a
+}
+
+// ShardRange returns the position range [lo, hi) of the given shard for a
+// pass of m edges. Shards beyond ActiveShards(m) are empty.
+func ShardRange(m, shard int) (lo, hi int) {
+	a := ActiveShards(m)
+	if shard >= a {
+		return m, m
+	}
+	return shard * m / a, (shard + 1) * m / a
+}
+
+// RangeStreamer is implemented by streams that can open independent
+// sub-streams over contiguous position ranges of a pass. The sub-streams may
+// be read concurrently with each other (each from its own goroutine).
+type RangeStreamer interface {
+	Stream
+	// RangeStream returns a fresh stream over positions [lo, hi) of the pass,
+	// or ok == false when range access is currently unavailable (for example
+	// a file stream that has not yet completed the indexing pass). A returned
+	// stream must be Reset before use; if it implements io.Closer the caller
+	// is responsible for closing it.
+	RangeStream(lo, hi int) (Stream, bool)
+}
+
+// ShardedForEachBatch runs one logical pass over a stream of exactly m edges,
+// partitioned into the NumShards grid. For every batch of edges it invokes
+// process(shard, batch) with batches that never straddle a shard boundary;
+// after all batches of shard k have been processed, merge(k) is invoked.
+// merge is called exactly once per shard, in ascending shard order (including
+// for empty shards), from a single goroutine.
+//
+// When workers > 1 and the stream supports range access, shards are processed
+// concurrently on a pool of `workers` goroutines: all process calls of one
+// shard happen sequentially on one worker, process calls of different shards
+// may be concurrent, and every process call of shard k happens before
+// merge(k). The number of shards whose state is live at once (processed or
+// processing but not yet merged) is bounded by workers+2, so per-shard
+// scratch can be pooled. With workers <= 1, without range support, or when
+// m < NumShards, the pass degrades to a single sequential scan that makes the
+// exact same process/merge calls in the same per-shard order — the results
+// are identical by construction, only the interleaving changes.
+//
+// The pass counts as one pass on a PassCounter (one Reset), like ForEachBatch.
+// It returns the number of edges seen and errors if that differs from m.
+func ShardedForEachBatch(
+	s Stream,
+	m, workers int,
+	process func(shard int, batch []graph.Edge) error,
+	merge func(shard int) error,
+) (int, error) {
+	if m < 0 {
+		return 0, fmt.Errorf("stream: sharded pass with negative m = %d", m)
+	}
+	if known, ok := s.Len(); ok && known != m {
+		return 0, fmt.Errorf("stream: sharded pass declared %d edges but the stream holds %d", m, known)
+	}
+	if workers > 1 && ActiveShards(m) > 1 {
+		if rs, ok := s.(RangeStreamer); ok {
+			if _, avail := rs.RangeStream(0, 0); avail {
+				return shardedParallel(rs, m, workers, process, merge)
+			}
+		}
+	}
+	return shardedSequential(s, m, process, merge)
+}
+
+// shardedSequential is the single-scan path: one Reset, batches split at
+// shard boundaries, merge(k) as soon as shard k's range has been consumed.
+func shardedSequential(
+	s Stream,
+	m int,
+	process func(shard int, batch []graph.Edge) error,
+	merge func(shard int) error,
+) (int, error) {
+	if err := s.Reset(); err != nil {
+		return 0, err
+	}
+	count := 0
+	shard := 0
+	_, hi := ShardRange(m, 0)
+	for {
+		batch, err := s.NextBatch(nil)
+		if err == ErrEndOfPass {
+			break
+		}
+		if err != nil {
+			return count, err
+		}
+		for len(batch) > 0 {
+			for count >= hi && shard < NumShards-1 {
+				if err := merge(shard); err != nil {
+					return count, err
+				}
+				shard++
+				_, hi = ShardRange(m, shard)
+			}
+			take := len(batch)
+			if room := hi - count; take > room {
+				take = room
+			}
+			if take == 0 {
+				// Only possible in the last shard: the stream is longer than m.
+				return count, fmt.Errorf("stream: sharded pass saw more than the declared %d edges", m)
+			}
+			if err := process(shard, batch[:take]); err != nil {
+				return count, err
+			}
+			count += take
+			batch = batch[take:]
+		}
+	}
+	if count != m {
+		return count, fmt.Errorf("stream: sharded pass saw %d edges, expected %d", count, m)
+	}
+	for ; shard < NumShards; shard++ {
+		if err := merge(shard); err != nil {
+			return count, err
+		}
+	}
+	return count, nil
+}
+
+// shardedParallel fans the shard grid out over a bounded worker pool and
+// merges completed shards in order on the calling goroutine.
+func shardedParallel(
+	rs RangeStreamer,
+	m, workers int,
+	process func(shard int, batch []graph.Edge) error,
+	merge func(shard int) error,
+) (int, error) {
+	// One Reset so a PassCounter charges one logical pass; the actual reads
+	// go through the per-shard range streams.
+	if err := rs.Reset(); err != nil {
+		return 0, err
+	}
+	if a := ActiveShards(m); workers > a {
+		workers = a
+	}
+
+	type shardDone struct {
+		n   int
+		err error
+	}
+	done := make([]chan shardDone, NumShards)
+	for k := range done {
+		done[k] = make(chan shardDone, 1)
+	}
+	// inFlight bounds the shards that hold live state at once: a worker must
+	// acquire a token before touching a shard and the merger releases it only
+	// after merging, so at most workers+2 per-shard scratch states exist.
+	inFlight := make(chan struct{}, workers+2)
+	var next atomic.Int64
+	var cancelled atomic.Bool
+
+	runShard := func(k int) (int, error) {
+		lo, hi := ShardRange(m, k)
+		if lo == hi {
+			return 0, nil
+		}
+		sub, ok := rs.RangeStream(lo, hi)
+		if !ok {
+			return 0, fmt.Errorf("stream: range access for shard %d withdrawn mid-pass", k)
+		}
+		if c, isCloser := sub.(io.Closer); isCloser {
+			defer c.Close()
+		}
+		if err := sub.Reset(); err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			batch, err := sub.NextBatch(nil)
+			if err == ErrEndOfPass {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			if err := process(k, batch); err != nil {
+				return n, err
+			}
+			n += len(batch)
+			if cancelled.Load() {
+				return n, nil
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Acquire the token BEFORE claiming a shard index. This
+				// ordering is what makes the protocol deadlock-free: every
+				// claimed-but-unmerged shard holds a token, and claims are
+				// issued in ascending order, so the shard the merger is
+				// waiting on is always claimed (and hence completed) before
+				// later shards can exhaust the tokens. Claiming first would
+				// let a burst of instantly-completed later shards starve an
+				// earlier claimer of tokens while the merger waits on it.
+				inFlight <- struct{}{}
+				k := int(next.Add(1)) - 1
+				if k >= NumShards {
+					<-inFlight // return the unused token
+					return
+				}
+				if cancelled.Load() {
+					done[k] <- shardDone{}
+					continue
+				}
+				n, err := runShard(k)
+				if err != nil {
+					cancelled.Store(true)
+				}
+				done[k] <- shardDone{n: n, err: err}
+			}
+		}()
+	}
+
+	// Merge in shard order on this goroutine. On error, keep draining the
+	// remaining shards (and releasing tokens) so no worker blocks forever.
+	count := 0
+	var firstErr error
+	for k := 0; k < NumShards; k++ {
+		d := <-done[k]
+		if firstErr == nil {
+			count += d.n
+			switch {
+			case d.err != nil:
+				firstErr = d.err
+			default:
+				if err := merge(k); err != nil {
+					firstErr = err
+					cancelled.Store(true)
+				}
+			}
+		}
+		<-inFlight
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return count, firstErr
+	}
+	if count != m {
+		return count, fmt.Errorf("stream: sharded pass saw %d edges, expected %d", count, m)
+	}
+	return count, nil
+}
+
+// ShardPool is a tiny free list for the per-shard scratch state of a sharded
+// pass. The engine bounds live shards at workers+2, so the pool never grows
+// past that; pooling matters because a pass allocates one state per shard and
+// 64 fresh instance-sized arrays per pass is measurable garbage.
+type ShardPool[T any] struct {
+	mu    sync.Mutex
+	free  []T
+	alloc func() T
+	reset func(T)
+}
+
+// NewShardPool builds a pool; alloc creates a state, reset readies a used one
+// for reuse (reset may be nil when no cleanup is needed).
+func NewShardPool[T any](alloc func() T, reset func(T)) *ShardPool[T] {
+	return &ShardPool[T]{alloc: alloc, reset: reset}
+}
+
+// Get returns a fresh or recycled state.
+func (p *ShardPool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return p.alloc()
+}
+
+// Put recycles a state after resetting it.
+func (p *ShardPool[T]) Put(v T) {
+	if p.reset != nil {
+		p.reset(v)
+	}
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}

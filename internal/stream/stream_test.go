@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"degentri/internal/graph"
@@ -299,4 +300,28 @@ func TestSpaceMeterPanics(t *testing.T) {
 		}()
 		m.Release(-1)
 	}()
+}
+
+// TestFileStreamLineTooLong: a newline-free blob must fail with a clean
+// error instead of growing the read buffer without bound.
+func TestFileStreamLineTooLong(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte{'7'}, 1<<20)
+	for written := 0; written <= 17<<20; written += len(chunk) {
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs := OpenFile(path)
+	defer fs.Close()
+	if _, err := CountEdges(fs); err == nil || !strings.Contains(err.Error(), "longer than") {
+		t.Fatalf("expected a line-too-long error, got %v", err)
+	}
 }

@@ -56,6 +56,9 @@ type Options struct {
 	// Accuracy multipliers; zero means the library defaults (8, 8, 4). Larger
 	// values spend more space for lower variance.
 	SampleMultiplier float64
+	// Workers bounds the concurrent shard workers of a single estimator run
+	// (0 = GOMAXPROCS). Estimates are identical at any worker count.
+	Workers int
 }
 
 // Result reports the estimate together with its resource usage.
@@ -105,10 +108,14 @@ func Exact(edges []Edge) int64 {
 	return buildGraph(edges).TriangleCount()
 }
 
-// ExactFile returns the exact triangle count of a whitespace-separated edge
-// list file ("u v" per line, # and % comments allowed).
+// ExactFile returns the exact triangle count of an edge file: a
+// whitespace-separated edge list ("u v" per line, # and % comments allowed)
+// or a binary .bex file (see cmd/graphgen for the converter).
 func ExactFile(path string) (int64, error) {
-	fs := stream.OpenFile(path)
+	fs, err := stream.OpenAuto(path)
+	if err != nil {
+		return 0, err
+	}
 	defer fs.Close()
 	g, err := stream.Materialize(fs)
 	if err != nil {
@@ -128,9 +135,13 @@ func GraphStats(edges []Edge) Stats {
 	return statsOf(buildGraph(edges))
 }
 
-// GraphStatsFile computes the exact structural summary of an edge-list file.
+// GraphStatsFile computes the exact structural summary of an edge file
+// (text edge list or .bex).
 func GraphStatsFile(path string) (Stats, error) {
-	fs := stream.OpenFile(path)
+	fs, err := stream.OpenAuto(path)
+	if err != nil {
+		return Stats{}, err
+	}
 	defer fs.Close()
 	g, err := stream.Materialize(fs)
 	if err != nil {
@@ -175,12 +186,15 @@ func Estimate(edges []Edge, opts Options) (Result, error) {
 	return estimateStream(src, opts, kappa)
 }
 
-// EstimateFile runs the streaming estimator over an edge-list file without
-// ever materializing the graph, provided opts.Degeneracy is set; if it is not
-// set, one extra materializing pass computes it (with a warning-sized memory
-// cost).
+// EstimateFile runs the streaming estimator over an edge file (text edge
+// list or .bex) without ever materializing the graph, provided
+// opts.Degeneracy is set; if it is not set, one extra materializing pass
+// computes it (with a warning-sized memory cost).
 func EstimateFile(path string, opts Options) (Result, error) {
-	fs := stream.OpenFile(path)
+	fs, err := stream.OpenAuto(path)
+	if err != nil {
+		return Result{}, err
+	}
 	defer fs.Close()
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
@@ -193,14 +207,17 @@ func EstimateFile(path string, opts Options) (Result, error) {
 			kappa = 1
 		}
 	}
-	m, err := stream.CountEdges(fs)
-	if err != nil {
-		return Result{}, err
+	m, known := fs.Len()
+	if !known {
+		var err error
+		m, err = stream.CountEdges(fs)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	if m == 0 {
 		return Result{}, ErrNoEdges
 	}
-	fs.SetLen(m)
 	return estimateStream(fs, opts, kappa)
 }
 
@@ -222,6 +239,7 @@ func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) 
 	cfg.CR, cfg.CL, cfg.CS = 8*mult, 8*mult, 4*mult
 	cfg.Seed = seed
 	cfg.MaxSpaceWords = opts.MaxSpaceWords
+	cfg.Workers = opts.Workers
 
 	var res core.Result
 	var err error

@@ -185,7 +185,10 @@ func TestFileAPIs(t *testing.T) {
 		t.Fatalf("stats %+v", stats)
 	}
 
-	res, err := EstimateFile(path, Options{Degeneracy: 3, TriangleGuess: 399, Seed: 2})
+	// SampleMultiplier 4 keeps the single-run variance low enough for a
+	// stable threshold (at 1× this workload's per-run error is routinely
+	// ~0.4-0.7 at any seed; the estimator is unbiased, not low-variance).
+	res, err := EstimateFile(path, Options{Degeneracy: 3, TriangleGuess: 399, Seed: 2, SampleMultiplier: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
