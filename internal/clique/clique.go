@@ -14,11 +14,12 @@
 // (Chiba–Nishizeki), which is what the conjectured O~(mκ^{k-2}/T_k) space
 // bound reflects.
 //
-// Like the core estimator, every pass runs on the sharded pass engine
-// (stream.ShardedForEachBatch): instances live in one flat array, the k−2
-// neighbor reservoirs of each instance are a sampling.ResK bank whose
-// randomness is keyed by (Seed, instance, shard), and per-shard state merges
-// in shard order — so the estimate is deterministic at any worker count.
+// Like the core estimator, every pass runs on the shared pass framework
+// (internal/passes) over the sharded pass engine: instances live in one flat
+// array, the k−2 neighbor reservoirs of each instance are a sampling.ResK
+// bank whose randomness is keyed by (Seed, instance, shard) under this
+// package's pass keys, and per-shard state merges in shard order — so the
+// estimate is deterministic at any worker count.
 //
 // This is an extension beyond the paper's proven results: the estimator is
 // unbiased (a calculation identical to Section 4's), but the repository makes
@@ -30,14 +31,15 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 
 	"degentri/internal/graph"
+	"degentri/internal/passes"
 	"degentri/internal/sampling"
 	"degentri/internal/stream"
 )
 
-// RNG stream keys of the sharded passes (see sampling.MixSeed).
+// RNG stream keys of the sharded passes (the (seed, passKey, mergeKey)
+// contract of internal/passes).
 const (
 	rngKeyNeighbors      = 30 // per-(instance, shard) neighbor banks
 	rngKeyNeighborsMerge = 31 // per-instance shard-merge draws
@@ -181,7 +183,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	// position ranges.
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := sampleUniformEdges(counter, rng, m, r, workers)
+	R, err := passes.SampleUniformEdges(counter, rng, m, r, workers)
 	if err != nil {
 		return res, err
 	}
@@ -195,7 +197,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if err := countDegreesSharded(counter, m, workers, vertexDeg); err != nil {
+	if err := passes.CountDegrees(counter, m, workers, vertexDeg); err != nil {
 		return res, err
 	}
 	edgeDegs := make([]int64, len(R))
@@ -246,7 +248,9 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 
 	// Pass 3: k-2 independent uniform neighbors of the light endpoint, via
 	// per-(instance, shard) sample banks merged in shard order.
-	banks, err := sampleNeighborBanksSharded(counter, m, workers, lightGroups, l, extra, cfg.Seed)
+	banks, err := passes.SampleNeighborBanks(
+		counter, m, workers, lightGroups, l, extra,
+		cfg.Seed, rngKeyNeighbors, rngKeyNeighborsMerge)
 	if err != nil {
 		return res, err
 	}
@@ -268,7 +272,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	needed := graph.NewEdgeIndex(needKeys)
 	meter.Charge(int64(needed.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
 	if needed.Keys() > 0 {
-		matched, err := closureMatchesSharded(counter, m, workers, needed, len(needInst))
+		matched, err := passes.ClosureBits(counter, m, workers, needed, len(needInst), nil)
 		if err != nil {
 			return res, err
 		}
@@ -299,138 +303,6 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	res.Passes = counter.Passes()
 	res.SpaceWords = meter.Peak()
 	return res, nil
-}
-
-// countDegreesSharded increments vertexDeg for both endpoints of every edge
-// in one sharded pass (pooled forks, merged in shard order).
-func countDegreesSharded(counter stream.Stream, m, workers int, deg *graph.SortedCounter) error {
-	pool := stream.NewShardPool(deg.Fork, (*graph.SortedCounter).ResetCounts)
-	var shards [stream.NumShards]*graph.SortedCounter
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			c := shards[shard]
-			if c == nil {
-				c = pool.Get()
-				shards[shard] = c
-			}
-			for _, e := range batch {
-				c.Inc(e.U)
-				c.Inc(e.V)
-			}
-			return nil
-		},
-		func(shard int) error {
-			if c := shards[shard]; c != nil {
-				deg.Merge(c)
-				shards[shard] = nil
-				pool.Put(c)
-			}
-			return nil
-		})
-	return err
-}
-
-// bankShard is the per-shard state of the neighbor-sampling pass.
-type bankShard struct {
-	res     []sampling.ResK
-	touched []int32
-}
-
-// sampleNeighborBanksSharded draws, for every instance, k uniform neighbor
-// samples with replacement from its light endpoint's neighborhood, with
-// randomness keyed per (instance, shard) and merges per instance in shard
-// order.
-func sampleNeighborBanksSharded(
-	counter stream.Stream, m, workers int,
-	lightGroups *graph.VertexGroups, n, k int,
-	seed uint64,
-) ([]sampling.ResKMerger, error) {
-	merged := make([]sampling.ResKMerger, n)
-	for i := range merged {
-		merged[i].Init(sampling.MixSeed(seed, rngKeyNeighborsMerge, uint64(i)), k)
-	}
-	pool := stream.NewShardPool(
-		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
-		func(st *bankShard) {
-			for _, i := range st.touched {
-				st.res[i].Drop()
-			}
-			st.touched = st.touched[:0]
-		})
-	var shards [stream.NumShards]*bankShard
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := shards[shard]
-			if st == nil {
-				st = pool.Get()
-				shards[shard] = st
-			}
-			offer := func(idx int32, v int) {
-				b := &st.res[idx]
-				if !b.Ready() {
-					b.Init(sampling.MixSeed(seed, rngKeyNeighbors, uint64(idx), uint64(shard)), k)
-					st.touched = append(st.touched, idx)
-				}
-				b.Offer(v)
-			}
-			for _, e := range batch {
-				for _, idx := range lightGroups.Lookup(e.U) {
-					offer(idx, e.V)
-				}
-				for _, idx := range lightGroups.Lookup(e.V) {
-					offer(idx, e.U)
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if st := shards[shard]; st != nil {
-				for _, i := range st.touched {
-					merged[i].Absorb(&st.res[i])
-				}
-				shards[shard] = nil
-				pool.Put(st)
-			}
-			return nil
-		})
-	return merged, err
-}
-
-// closureMatchesSharded marks, for every adjacency-check item, whether its
-// edge key appeared in the stream (per-shard hit bitsets OR-merged in shard
-// order).
-func closureMatchesSharded(
-	counter stream.Stream, m, workers int,
-	needed *graph.EdgeIndex, items int,
-) (*graph.Bitset, error) {
-	merged := graph.NewBitset(items)
-	pool := stream.NewShardPool(
-		func() *graph.Bitset { return graph.NewBitset(items) },
-		(*graph.Bitset).Clear)
-	var shards [stream.NumShards]*graph.Bitset
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			bits := shards[shard]
-			if bits == nil {
-				bits = pool.Get()
-				shards[shard] = bits
-			}
-			for _, e := range batch {
-				for _, it := range needed.Lookup(e.Normalize()) {
-					bits.Set(int(it))
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if bits := shards[shard]; bits != nil {
-				merged.Or(bits)
-				shards[shard] = nil
-				pool.Put(bits)
-			}
-			return nil
-		})
-	return merged, err
 }
 
 // prepare validates distinctness and registers the adjacency checks the
@@ -465,50 +337,6 @@ func (inst *instance) prepare(idx int, needKeys *[]graph.Edge, needInst *[]int32
 			inst.required++
 		}
 	}
-}
-
-// positionShard is the per-shard cursor of the uniform edge-sampling pass.
-type positionShard struct {
-	pos  int
-	next int
-	init bool
-}
-
-// sampleUniformEdges draws r edges with replacement in a single sharded pass
-// by pre-drawing sorted positions; each shard collects the positions in its
-// range (disjoint sample slots, no merge state).
-func sampleUniformEdges(src stream.Stream, rng *sampling.RNG, m, r, workers int) ([]graph.Edge, error) {
-	positions := make([]int, r)
-	for i := range positions {
-		positions[i] = rng.Intn(m)
-	}
-	sampling.SortPositions(positions)
-	sample := make([]graph.Edge, r)
-	var shards [stream.NumShards]positionShard
-	_, err := stream.ShardedForEachBatch(src, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := &shards[shard]
-			if !st.init {
-				st.pos, _ = stream.ShardRange(m, shard)
-				st.next = sort.SearchInts(positions, st.pos)
-				st.init = true
-			}
-			pos, next := st.pos, st.next
-			for _, e := range batch {
-				for next < r && positions[next] == pos {
-					sample[next] = e.Normalize()
-					next++
-				}
-				pos++
-			}
-			st.pos, st.next = pos, next
-			return nil
-		},
-		func(int) error { return nil })
-	if err != nil {
-		return nil, err
-	}
-	return sample, nil
 }
 
 func clampInt(v, lo, hi int) int {

@@ -5,7 +5,7 @@ import (
 	"slices"
 
 	"degentri/internal/graph"
-	"degentri/internal/sampling"
+	"degentri/internal/passes"
 	"degentri/internal/stream"
 )
 
@@ -191,8 +191,9 @@ func (est *Estimator) assign(
 		lightGroups := graph.NewVertexGroups(slotLights)
 
 		// ----- Pass 5: s uniform neighborhood samples per active slot. -----
-		banks, err := sampleNeighborBanksSharded(
-			counter, m, workers, lightGroups, len(slotIDs), s, cfg.Seed)
+		banks, err := passes.SampleNeighborBanks(
+			counter, m, workers, lightGroups, len(slotIDs), s,
+			cfg.Seed, rngKeyPass5, rngKeyPass5Merge)
 		if err != nil {
 			return table, err
 		}
@@ -242,7 +243,7 @@ func (est *Estimator) assign(
 			res.Aborted = true
 			return table, nil
 		}
-		matches, err := closureMatchesSharded(counter, m, workers, closure, len(hits))
+		matches, err := passes.ClosureCounts(counter, m, workers, closure, len(hits))
 		if err != nil {
 			return table, err
 		}
@@ -276,114 +277,4 @@ func (est *Estimator) assign(
 	}
 	est.meter.Charge(int64(table.assigned()) * 2 * stream.WordsPerEdge)
 	return table, nil
-}
-
-// bankShard is the per-shard state of the assignment sampling pass: one lazy
-// s-sample bank per active slot.
-type bankShard struct {
-	res     []sampling.ResK
-	touched []int32
-}
-
-// sampleNeighborBanksSharded runs pass 5 on the sharded engine: for every
-// active slot (grouped by light endpoint in lightGroups) it draws s uniform
-// neighbor samples with replacement. Randomness is keyed per (slot, shard)
-// and merges per slot in shard order, exactly like pass 3 but with an
-// s-sample bank instead of a single reservoir.
-func sampleNeighborBanksSharded(
-	counter stream.Stream, m, workers int,
-	lightGroups *graph.VertexGroups, n, s int,
-	seed uint64,
-) ([]sampling.ResKMerger, error) {
-	merged := make([]sampling.ResKMerger, n)
-	for j := range merged {
-		merged[j].Init(sampling.MixSeed(seed, rngKeyPass5Merge, uint64(j)), s)
-	}
-	pool := stream.NewShardPool(
-		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
-		func(st *bankShard) {
-			for _, j := range st.touched {
-				st.res[j].Drop()
-			}
-			st.touched = st.touched[:0]
-		})
-	var shards [stream.NumShards]*bankShard
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := shards[shard]
-			if st == nil {
-				st = pool.Get()
-				shards[shard] = st
-			}
-			offer := func(idx int32, v int) {
-				r := &st.res[idx]
-				if !r.Ready() {
-					r.Init(sampling.MixSeed(seed, rngKeyPass5, uint64(idx), uint64(shard)), s)
-					st.touched = append(st.touched, idx)
-				}
-				r.Offer(v)
-			}
-			for _, e := range batch {
-				for _, idx := range lightGroups.Lookup(e.U) {
-					offer(idx, e.V)
-				}
-				for _, idx := range lightGroups.Lookup(e.V) {
-					offer(idx, e.U)
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if st := shards[shard]; st != nil {
-				for _, j := range st.touched {
-					merged[j].Absorb(&st.res[j])
-				}
-				shards[shard] = nil
-				pool.Put(st)
-			}
-			return nil
-		})
-	return merged, err
-}
-
-// closureMatchesSharded runs one sharded pass counting, for every closure
-// item, how many stream edges match its key (per-shard int32 tallies summed
-// in shard order). For simple streams each count is 0 or 1, but duplicates in
-// the stream are tallied faithfully.
-func closureMatchesSharded(
-	counter stream.Stream, m, workers int,
-	closure *graph.EdgeIndex, items int,
-) ([]int, error) {
-	merged := make([]int, items)
-	pool := stream.NewShardPool(
-		func() []int32 { return make([]int32, items) },
-		func(c []int32) { clear(c) })
-	var shards [stream.NumShards][]int32
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			c := shards[shard]
-			if c == nil {
-				c = pool.Get()
-				shards[shard] = c
-			}
-			for _, e := range batch {
-				for _, it := range closure.Lookup(e.Normalize()) {
-					c[it]++
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if c := shards[shard]; c != nil {
-				for it, n := range c {
-					if n != 0 {
-						merged[it] += int(n)
-					}
-				}
-				shards[shard] = nil
-				pool.Put(c)
-			}
-			return nil
-		})
-	return merged, err
 }

@@ -2,19 +2,20 @@ package core
 
 import (
 	"runtime"
-	"sort"
 
 	"degentri/internal/graph"
+	"degentri/internal/passes"
 	"degentri/internal/sampling"
 	"degentri/internal/stream"
 )
 
-// RNG stream keys of the sharded passes (see sampling.MixSeed): every draw an
-// estimator makes inside a sharded pass comes from a stream keyed by
-// (Config.Seed, pass key, instance/slot index[, shard index]), so the
-// realized randomness — and with it the estimate — does not depend on worker
-// scheduling. The estimator's root RNG is only consumed sequentially between
-// passes (sample positions, instance selection).
+// RNG stream keys of the sharded passes (the (seed, passKey, mergeKey)
+// contract of internal/passes): every draw an estimator makes inside a
+// sharded pass comes from a stream keyed by (Config.Seed, pass key,
+// instance/slot index[, shard index]), so the realized randomness — and with
+// it the estimate — does not depend on worker scheduling. The estimator's
+// root RNG is only consumed sequentially between passes (sample positions,
+// instance selection).
 const (
 	rngKeyPass3      = 3 // per-(instance, shard) neighbor reservoirs
 	rngKeyPass3Merge = 4 // per-instance shard-merge draws
@@ -45,10 +46,10 @@ type instance struct {
 //
 // The per-edge hot loops of passes 2–6 use the dense sorted structures of the
 // graph package (SortedCounter, VertexGroups, EdgeIndex, TriangleIndex) and
-// run on the sharded pass engine: each pass is split over the fixed
-// stream.NumShards grid, processed by up to Config.Workers concurrent
-// workers, and merged in shard order, so the estimate for a fixed seed is
-// deterministic at any worker count.
+// run on the shared pass framework (internal/passes) over the sharded pass
+// engine: each pass is split over the fixed stream.NumShards grid, processed
+// by up to Config.Workers concurrent workers, and merged in shard order, so
+// the estimate for a fixed seed is deterministic at any worker count.
 type Estimator struct {
 	cfg   Config
 	rng   *sampling.RNG
@@ -107,7 +108,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := est.sampleUniformEdges(counter, m, r, workers)
+	R, err := passes.SampleUniformEdges(counter, est.rng, m, r, workers)
 	if err != nil {
 		return res, err
 	}
@@ -126,7 +127,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	est.meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if err := est.countDegreesSharded(counter, m, workers, vertexDeg); err != nil {
+	if err := passes.CountDegrees(counter, m, workers, vertexDeg); err != nil {
 		return res, err
 	}
 
@@ -184,7 +185,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Pass 3: uniform neighbor of the light endpoint, per instance. -----
-	neighbors, err := sampleNeighborsSharded(
+	neighbors, err := passes.SampleNeighbors(
 		counter, m, workers, lightGroups, l, cfg.Seed, rngKeyPass3, rngKeyPass3Merge)
 	if err != nil {
 		return res, err
@@ -225,7 +226,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	est.meter.Charge(int64(closure.Keys())*(stream.WordsPerEdge+stream.WordsPerScalar) +
 		int64(apexDeg.Len())*stream.WordsPerCounter)
 
-	closedBits, err := closureSharded(counter, m, workers, closure, len(closureInst), apexDeg)
+	closedBits, err := passes.ClosureBits(counter, m, workers, closure, len(closureInst), apexDeg)
 	if err != nil {
 		return res, err
 	}
@@ -295,220 +296,6 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	res.Passes = counter.Passes()
 	res.SpaceWords = est.meter.Peak()
 	return res, nil
-}
-
-// countDegreesSharded runs one sharded pass that increments deg for both
-// endpoints of every edge, using a pooled Fork per shard merged in order.
-func (est *Estimator) countDegreesSharded(
-	counter stream.Stream, m, workers int, deg *graph.SortedCounter,
-) error {
-	pool := stream.NewShardPool(deg.Fork, (*graph.SortedCounter).ResetCounts)
-	var shards [stream.NumShards]*graph.SortedCounter
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			c := shards[shard]
-			if c == nil {
-				c = pool.Get()
-				shards[shard] = c
-			}
-			for _, e := range batch {
-				c.Inc(e.U)
-				c.Inc(e.V)
-			}
-			return nil
-		},
-		func(shard int) error {
-			if c := shards[shard]; c != nil {
-				deg.Merge(c)
-				shards[shard] = nil
-				pool.Put(c)
-			}
-			return nil
-		})
-	return err
-}
-
-// neighborShard is the per-shard state of a neighbor-sampling pass: one lazy
-// skip-ahead reservoir per instance, plus the touched list for sparse merge.
-type neighborShard struct {
-	res     []sampling.Res1
-	touched []int32
-}
-
-// sampleNeighborsSharded runs one sharded pass drawing, for every instance
-// grouped in lightGroups, a uniform neighbor of its light endpoint. The
-// reservoir of instance i in shard k draws from the RNG stream
-// (seed, passKey, i, k) and the per-instance shard merge from
-// (seed, mergeKey, i), which makes the returned samples independent of the
-// worker count. It returns one merger per instance (Has()==false when the
-// light endpoint had no neighbors).
-func sampleNeighborsSharded(
-	counter stream.Stream, m, workers int,
-	lightGroups *graph.VertexGroups, n int,
-	seed uint64, passKey, mergeKey uint64,
-) ([]sampling.Res1Merger, error) {
-	merged := make([]sampling.Res1Merger, n)
-	for i := range merged {
-		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)))
-	}
-	pool := stream.NewShardPool(
-		func() *neighborShard { return &neighborShard{res: make([]sampling.Res1, n)} },
-		func(st *neighborShard) {
-			for _, i := range st.touched {
-				st.res[i] = sampling.Res1{}
-			}
-			st.touched = st.touched[:0]
-		})
-	var shards [stream.NumShards]*neighborShard
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := shards[shard]
-			if st == nil {
-				st = pool.Get()
-				shards[shard] = st
-			}
-			offer := func(idx int32, v int) {
-				r := &st.res[idx]
-				if !r.Ready() {
-					r.Init(sampling.MixSeed(seed, passKey, uint64(idx), uint64(shard)))
-					st.touched = append(st.touched, idx)
-				}
-				r.Offer(v)
-			}
-			for _, e := range batch {
-				for _, idx := range lightGroups.Lookup(e.U) {
-					offer(idx, e.V)
-				}
-				for _, idx := range lightGroups.Lookup(e.V) {
-					offer(idx, e.U)
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if st := shards[shard]; st != nil {
-				for _, i := range st.touched {
-					merged[i].Absorb(&st.res[i])
-				}
-				shards[shard] = nil
-				pool.Put(st)
-			}
-			return nil
-		})
-	return merged, err
-}
-
-// closureShard is the per-shard state of a closure-check pass: a hit bitset
-// over the closure items plus (optionally) a degree-counter fork.
-type closureShard struct {
-	bits *graph.Bitset
-	deg  *graph.SortedCounter
-}
-
-// closureSharded runs one sharded pass marking, for every closure item whose
-// key appears in the stream, a bit in the returned bitset, while also
-// counting apex degrees when apexDeg is non-nil. Hit bits are set in
-// per-shard bitsets OR-merged in shard order — no shared writes.
-func closureSharded(
-	counter stream.Stream, m, workers int,
-	closure *graph.EdgeIndex, items int,
-	apexDeg *graph.SortedCounter,
-) (*graph.Bitset, error) {
-	merged := graph.NewBitset(items)
-	pool := stream.NewShardPool(
-		func() *closureShard {
-			st := &closureShard{bits: graph.NewBitset(items)}
-			if apexDeg != nil {
-				st.deg = apexDeg.Fork()
-			}
-			return st
-		},
-		func(st *closureShard) {
-			st.bits.Clear()
-			if st.deg != nil {
-				st.deg.ResetCounts()
-			}
-		})
-	var shards [stream.NumShards]*closureShard
-	_, err := stream.ShardedForEachBatch(counter, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := shards[shard]
-			if st == nil {
-				st = pool.Get()
-				shards[shard] = st
-			}
-			for _, e := range batch {
-				if items := closure.Lookup(e.Normalize()); items != nil {
-					for _, it := range items {
-						st.bits.Set(int(it))
-					}
-				}
-				if st.deg != nil {
-					st.deg.Inc(e.U)
-					st.deg.Inc(e.V)
-				}
-			}
-			return nil
-		},
-		func(shard int) error {
-			if st := shards[shard]; st != nil {
-				merged.Or(st.bits)
-				if st.deg != nil {
-					apexDeg.Merge(st.deg)
-				}
-				shards[shard] = nil
-				pool.Put(st)
-			}
-			return nil
-		})
-	return merged, err
-}
-
-// positionShard is the per-shard cursor of the uniform edge-sampling pass.
-type positionShard struct {
-	pos  int // next stream position of this shard
-	next int // next index into the sorted position array
-	init bool
-}
-
-// sampleUniformEdges draws r edges uniformly at random with replacement from
-// the stream in one sharded pass: it pre-draws r uniform positions in [0, m)
-// from the root RNG, sorts them, and each shard collects the positions that
-// fall in its range (disjoint index ranges of the sample array, so no merge
-// state is needed).
-func (est *Estimator) sampleUniformEdges(src stream.Stream, m, r, workers int) ([]graph.Edge, error) {
-	positions := make([]int, r)
-	for i := range positions {
-		positions[i] = est.rng.Intn(m)
-	}
-	sampling.SortPositions(positions)
-	sample := make([]graph.Edge, r)
-
-	var shards [stream.NumShards]positionShard
-	_, err := stream.ShardedForEachBatch(src, m, workers,
-		func(shard int, batch []graph.Edge) error {
-			st := &shards[shard]
-			if !st.init {
-				st.pos, _ = stream.ShardRange(m, shard)
-				st.next = sort.SearchInts(positions, st.pos)
-				st.init = true
-			}
-			pos, next := st.pos, st.next
-			for _, e := range batch {
-				for next < r && positions[next] == pos {
-					sample[next] = e.Normalize()
-					next++
-				}
-				pos++
-			}
-			st.pos, st.next = pos, next
-			return nil
-		},
-		func(int) error { return nil })
-	if err != nil {
-		return nil, err
-	}
-	return sample, nil
 }
 
 func (est *Estimator) overBudget() bool {

@@ -1,6 +1,10 @@
 package graph
 
-import "slices"
+import (
+	"slices"
+
+	"degentri/internal/radix"
+)
 
 // This file provides the small dense lookup structures the streaming
 // estimators use in their per-edge hot loops in place of hash maps: a sorted
@@ -238,63 +242,6 @@ type edgeItem struct {
 	item int32
 }
 
-// packedItem pairs a packed edge key with its item for the fast sort path.
-type packedItem struct {
-	key  uint64
-	item int32
-}
-
-// sortPackedItems orders pairs by key with insertion order preserved within
-// equal keys. Large inputs take a stable LSD radix sort over the key bytes
-// (Θ(n) per byte, skipping constant bytes — the closure-check indexes of a
-// big run hold millions of keys); small inputs use a comparison sort with the
-// item index as the tiebreak, which reproduces the same order.
-func sortPackedItems(pairs []packedItem) {
-	const radixMin = 1024
-	if len(pairs) < radixMin {
-		slices.SortFunc(pairs, func(a, b packedItem) int {
-			if a.key != b.key {
-				if a.key < b.key {
-					return -1
-				}
-				return 1
-			}
-			return int(a.item) - int(b.item)
-		})
-		return
-	}
-	var maxKey uint64
-	for _, p := range pairs {
-		if p.key > maxKey {
-			maxKey = p.key
-		}
-	}
-	buf := make([]packedItem, len(pairs))
-	src, dst := pairs, buf
-	for shift := uint(0); shift < 64 && maxKey>>shift > 0; shift += 8 {
-		var counts [256]int
-		for _, p := range src {
-			counts[(p.key>>shift)&0xff]++
-		}
-		if counts[(src[0].key>>shift)&0xff] == len(src) {
-			continue
-		}
-		sum := 0
-		for i := range counts {
-			counts[i], sum = sum, sum+counts[i]
-		}
-		for _, p := range src {
-			b := (p.key >> shift) & 0xff
-			dst[counts[b]] = p
-			counts[b]++
-		}
-		src, dst = dst, src
-	}
-	if &src[0] != &pairs[0] {
-		copy(pairs, src)
-	}
-}
-
 // NewEdgeIndex groups items by their (normalized) edge key: edgeOf[i] is the
 // key of item i. Items with equal keys keep their relative order (the sort
 // tiebreaks on the item index, which reproduces insertion order).
@@ -329,24 +276,26 @@ func NewEdgeIndex(edgeOf []Edge) *EdgeIndex {
 	return ix
 }
 
-// newPackedEdgeIndex is the common-case constructor: machine-word keys, a
-// cheap two-field comparison instead of an Edge comparator, and the probe
-// table for O(1) lookups.
+// newPackedEdgeIndex is the common-case constructor: machine-word keys sorted
+// by the shared LSD radix core (radix.SortPairs — the closure-check indexes
+// of a big run hold millions of keys; items arrive in insertion order, so the
+// stable sort preserves it within equal keys), and the probe table for O(1)
+// lookups.
 func newPackedEdgeIndex(edgeOf []Edge) *EdgeIndex {
-	pairs := make([]packedItem, len(edgeOf))
+	pairs := make([]radix.Pair, len(edgeOf))
 	for i, e := range edgeOf {
 		n := e.Normalize()
-		pairs[i] = packedItem{key: uint64(n.U)<<32 | uint64(n.V), item: int32(i)}
+		pairs[i] = radix.Pair{Key: uint64(n.U)<<32 | uint64(n.V), Item: int32(i)}
 	}
-	sortPackedItems(pairs)
+	radix.SortPairs(pairs)
 
 	ix := &EdgeIndex{items: make([]int32, len(pairs))}
 	for i, p := range pairs {
-		if i == 0 || p.key != pairs[i-1].key {
-			ix.packed = append(ix.packed, p.key)
+		if i == 0 || p.Key != pairs[i-1].Key {
+			ix.packed = append(ix.packed, p.Key)
 			ix.offsets = append(ix.offsets, int32(i))
 		}
-		ix.items[i] = p.item
+		ix.items[i] = p.Item
 	}
 	ix.offsets = append(ix.offsets, int32(len(pairs)))
 

@@ -1,0 +1,350 @@
+// Package passes is the shared multi-pass streaming-estimator framework: the
+// concrete sharded stream passes that every estimator in this repository is
+// built from. It sits on top of the sharded pass engine
+// (stream.ShardedForEachBatch) and the keyed RNG streams (sampling.MixSeed)
+// and owns the pass bodies that used to be duplicated between internal/core
+// and internal/clique — degree counting, uniform edge sampling, keyed
+// neighbor-reservoir sampling, and closure checking.
+//
+// # The (seed, passKey, mergeKey) contract
+//
+// A sharded pass splits one stream pass into a fixed grid of contiguous
+// shards that may be processed by concurrent workers and merged in ascending
+// shard order. Any randomness consumed inside such a pass must be a pure
+// function of the data and of stable indices — never of worker scheduling —
+// so every randomized pass in this package draws from RNG streams derived
+// with sampling.MixSeed from three caller-supplied values:
+//
+//   - seed: the estimator's root seed (Config.Seed);
+//   - passKey: a constant identifying the pass, unique within the estimator,
+//     keying the per-(instance, shard) draws as
+//     MixSeed(seed, passKey, instance, shard);
+//   - mergeKey: a second constant (distinct from every passKey) keying the
+//     per-instance shard-merge draws as MixSeed(seed, mergeKey, instance).
+//
+// Two passes of one estimator run may share a seed but must never share a
+// passKey or mergeKey; subject to that, the realized draws — and with them
+// the estimate — are bit-identical at any worker count, including the
+// sequential workers <= 1 fallback. Deterministic passes (degree counting,
+// closure checks) take no keys at all, and the uniform edge-sampling pass
+// consumes the estimator's root RNG sequentially before the pass starts, so
+// it needs the RNG rather than keys.
+//
+// Adding a new estimator workload should mean writing pass bodies against
+// this package — picking fresh pass/merge keys — not re-implementing the
+// shard/merge/RNG-keying discipline.
+package passes
+
+import (
+	"sort"
+
+	"degentri/internal/graph"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// runPooled executes one sharded pass whose per-shard scratch state is pooled:
+// a shard's state is allocated (or recycled) on its first batch, every batch
+// of the shard is handed to process, and merge is invoked exactly once per
+// non-empty shard, in ascending shard order, before the state returns to the
+// pool. The engine bounds live states at workers+2, so the pool stays small.
+func runPooled[T any](
+	s stream.Stream, m, workers int,
+	alloc func() T, reset func(T),
+	process func(st T, shard int, batch []graph.Edge),
+	merge func(st T, shard int),
+) error {
+	pool := stream.NewShardPool(alloc, reset)
+	var shards [stream.NumShards]T
+	var live [stream.NumShards]bool
+	_, err := stream.ShardedForEachBatch(s, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			if !live[shard] {
+				shards[shard] = pool.Get()
+				live[shard] = true
+			}
+			process(shards[shard], shard, batch)
+			return nil
+		},
+		func(shard int) error {
+			if live[shard] {
+				merge(shards[shard], shard)
+				pool.Put(shards[shard])
+				var zero T
+				shards[shard] = zero
+				live[shard] = false
+			}
+			return nil
+		})
+	return err
+}
+
+// CountDegrees runs one sharded pass that increments deg for both endpoints
+// of every edge, using pooled Forks of the counter merged in shard order. The
+// pass is deterministic (no randomness) and only touches vertices that are
+// keys of deg.
+func CountDegrees(s stream.Stream, m, workers int, deg *graph.SortedCounter) error {
+	return runPooled(s, m, workers,
+		deg.Fork, (*graph.SortedCounter).ResetCounts,
+		func(c *graph.SortedCounter, _ int, batch []graph.Edge) {
+			for _, e := range batch {
+				c.Inc(e.U)
+				c.Inc(e.V)
+			}
+		},
+		func(c *graph.SortedCounter, _ int) { deg.Merge(c) })
+}
+
+// positionShard is the per-shard cursor of the uniform edge-sampling pass:
+// the next stream position of the shard and the next index into the sorted
+// position array.
+type positionShard struct {
+	pos  int
+	next int
+	init bool
+}
+
+// SampleUniformEdges draws r edges uniformly at random with replacement from
+// a stream of m edges in one sharded pass: it pre-draws r uniform positions
+// in [0, m) from rng (consumed sequentially, before the pass starts), sorts
+// them, and each shard collects the positions that fall in its range.
+// Because sorted positions give every shard a disjoint index range of the
+// sample array, the per-shard cursors need no merge state and the merge is
+// trivially deterministic. Sampled edges are normalized.
+func SampleUniformEdges(s stream.Stream, rng *sampling.RNG, m, r, workers int) ([]graph.Edge, error) {
+	positions := make([]int, r)
+	for i := range positions {
+		positions[i] = rng.Intn(m)
+	}
+	sampling.SortPositions(positions)
+	sample := make([]graph.Edge, r)
+
+	var shards [stream.NumShards]positionShard
+	_, err := stream.ShardedForEachBatch(s, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			st := &shards[shard]
+			if !st.init {
+				st.pos, _ = stream.ShardRange(m, shard)
+				st.next = sort.SearchInts(positions, st.pos)
+				st.init = true
+			}
+			pos, next := st.pos, st.next
+			for _, e := range batch {
+				for next < r && positions[next] == pos {
+					sample[next] = e.Normalize()
+					next++
+				}
+				pos++
+			}
+			st.pos, st.next = pos, next
+			return nil
+		},
+		func(int) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	return sample, nil
+}
+
+// neighborShard is the per-shard state of a single-sample neighbor pass: one
+// lazy skip-ahead reservoir per instance, plus the touched list for sparse
+// reset and merge.
+type neighborShard struct {
+	res     []sampling.Res1
+	touched []int32
+}
+
+// SampleNeighbors runs one sharded pass drawing, for every instance grouped
+// in groups, one uniform neighbor of its group vertex. The reservoir of
+// instance i in shard k draws from the RNG stream (seed, passKey, i, k) and
+// the per-instance shard merge from (seed, mergeKey, i), which makes the
+// returned samples independent of the worker count. It returns one merger per
+// instance (Has() == false when the vertex had no neighbors).
+func SampleNeighbors(
+	s stream.Stream, m, workers int,
+	groups *graph.VertexGroups, n int,
+	seed, passKey, mergeKey uint64,
+) ([]sampling.Res1Merger, error) {
+	merged := make([]sampling.Res1Merger, n)
+	for i := range merged {
+		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)))
+	}
+	err := runPooled(s, m, workers,
+		func() *neighborShard { return &neighborShard{res: make([]sampling.Res1, n)} },
+		func(st *neighborShard) {
+			for _, i := range st.touched {
+				st.res[i] = sampling.Res1{}
+			}
+			st.touched = st.touched[:0]
+		},
+		func(st *neighborShard, shard int, batch []graph.Edge) {
+			offer := func(idx int32, v int) {
+				r := &st.res[idx]
+				if !r.Ready() {
+					r.Init(sampling.MixSeed(seed, passKey, uint64(idx), uint64(shard)))
+					st.touched = append(st.touched, idx)
+				}
+				r.Offer(v)
+			}
+			for _, e := range batch {
+				for _, idx := range groups.Lookup(e.U) {
+					offer(idx, e.V)
+				}
+				for _, idx := range groups.Lookup(e.V) {
+					offer(idx, e.U)
+				}
+			}
+		},
+		func(st *neighborShard, _ int) {
+			for _, i := range st.touched {
+				merged[i].Absorb(&st.res[i])
+			}
+		})
+	return merged, err
+}
+
+// bankShard is the per-shard state of a bank-sampling neighbor pass: one lazy
+// k-sample bank per instance.
+type bankShard struct {
+	res     []sampling.ResK
+	touched []int32
+}
+
+// SampleNeighborBanks runs one sharded pass drawing, for every instance
+// grouped in groups, k uniform neighbor samples with replacement from its
+// group vertex's neighborhood. Randomness is keyed exactly like
+// SampleNeighbors — (seed, passKey, instance, shard) for the in-shard draws
+// and (seed, mergeKey, instance) for the shard merges — with an s-sample bank
+// in place of the single reservoir.
+func SampleNeighborBanks(
+	s stream.Stream, m, workers int,
+	groups *graph.VertexGroups, n, k int,
+	seed, passKey, mergeKey uint64,
+) ([]sampling.ResKMerger, error) {
+	merged := make([]sampling.ResKMerger, n)
+	for i := range merged {
+		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)), k)
+	}
+	err := runPooled(s, m, workers,
+		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
+		func(st *bankShard) {
+			for _, i := range st.touched {
+				st.res[i].Drop()
+			}
+			st.touched = st.touched[:0]
+		},
+		func(st *bankShard, shard int, batch []graph.Edge) {
+			offer := func(idx int32, v int) {
+				b := &st.res[idx]
+				if !b.Ready() {
+					b.Init(sampling.MixSeed(seed, passKey, uint64(idx), uint64(shard)), k)
+					st.touched = append(st.touched, idx)
+				}
+				b.Offer(v)
+			}
+			for _, e := range batch {
+				for _, idx := range groups.Lookup(e.U) {
+					offer(idx, e.V)
+				}
+				for _, idx := range groups.Lookup(e.V) {
+					offer(idx, e.U)
+				}
+			}
+		},
+		func(st *bankShard, _ int) {
+			for _, i := range st.touched {
+				merged[i].Absorb(&st.res[i])
+			}
+		})
+	return merged, err
+}
+
+// closureShard is the per-shard state of a closure-check pass: a hit bitset
+// over the closure items plus (optionally) a degree-counter fork.
+type closureShard struct {
+	bits *graph.Bitset
+	deg  *graph.SortedCounter
+}
+
+// ClosureBits runs one sharded pass marking, for every closure item whose
+// edge key appears in the stream, a bit in the returned bitset. When extraDeg
+// is non-nil the same pass also counts, into extraDeg, the degrees of its key
+// vertices (the estimators use this to measure apex degrees without an extra
+// pass). Hit bits are set in per-shard bitsets OR-merged in shard order — no
+// shared writes, no randomness.
+func ClosureBits(
+	s stream.Stream, m, workers int,
+	closure *graph.EdgeIndex, items int,
+	extraDeg *graph.SortedCounter,
+) (*graph.Bitset, error) {
+	merged := graph.NewBitset(items)
+	err := runPooled(s, m, workers,
+		func() *closureShard {
+			st := &closureShard{bits: graph.NewBitset(items)}
+			if extraDeg != nil {
+				st.deg = extraDeg.Fork()
+			}
+			return st
+		},
+		func(st *closureShard) {
+			st.bits.Clear()
+			if st.deg != nil {
+				st.deg.ResetCounts()
+			}
+		},
+		func(st *closureShard, _ int, batch []graph.Edge) {
+			for _, e := range batch {
+				if hits := closure.Lookup(e.Normalize()); hits != nil {
+					for _, it := range hits {
+						st.bits.Set(int(it))
+					}
+				}
+				if st.deg != nil {
+					st.deg.Inc(e.U)
+					st.deg.Inc(e.V)
+				}
+			}
+		},
+		func(st *closureShard, _ int) {
+			merged.Or(st.bits)
+			if st.deg != nil {
+				extraDeg.Merge(st.deg)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// ClosureCounts runs one sharded pass counting, for every closure item, how
+// many stream edges match its key (per-shard int32 tallies summed in shard
+// order). For simple streams each count is 0 or 1, but duplicates in the
+// stream are tallied faithfully.
+func ClosureCounts(
+	s stream.Stream, m, workers int,
+	closure *graph.EdgeIndex, items int,
+) ([]int, error) {
+	merged := make([]int, items)
+	err := runPooled(s, m, workers,
+		func() []int32 { return make([]int32, items) },
+		func(c []int32) { clear(c) },
+		func(c []int32, _ int, batch []graph.Edge) {
+			for _, e := range batch {
+				for _, it := range closure.Lookup(e.Normalize()) {
+					c[it]++
+				}
+			}
+		},
+		func(c []int32, _ int) {
+			for it, n := range c {
+				if n != 0 {
+					merged[it] += int(n)
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

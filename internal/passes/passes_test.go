@@ -1,0 +1,338 @@
+package passes_test
+
+import (
+	"slices"
+	"testing"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+	"degentri/internal/passes"
+	"degentri/internal/sampling"
+	"degentri/internal/stream"
+)
+
+// testGraph is large enough that the shard grid has several active shards
+// (ActiveShards = ⌈m/8192⌉), so the parallel path of every pass is exercised
+// for real rather than degrading to the sequential fallback.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.HolmeKim(5000, 5, 0.6, 33)
+	if a := stream.ActiveShards(g.NumEdges()); a < 3 {
+		t.Fatalf("test graph too small: %d edges give %d shards", g.NumEdges(), a)
+	}
+	return g
+}
+
+var workerSweep = []int{1, 2, 4, 8}
+
+func TestCountDegrees(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+
+	// Track a subset of vertices, including some out-of-graph keys.
+	keys := []int{0, 1, 2, 3, 500, 1000, 2500, 4999, 7777}
+	want := map[int]int{}
+	for _, k := range keys {
+		want[k] = 0
+	}
+	for _, e := range edges {
+		for _, v := range []int{e.U, e.V} {
+			if _, ok := want[v]; ok {
+				want[v]++
+			}
+		}
+	}
+	for _, workers := range workerSweep {
+		deg := graph.NewSortedCounter(slices.Clone(keys))
+		if err := passes.CountDegrees(stream.FromGraph(g), m, workers, deg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, k := range keys {
+			got, ok := deg.Get(k)
+			if !ok || got != want[k] {
+				t.Errorf("workers=%d: deg[%d] = %d (ok=%v), want %d", workers, k, got, ok, want[k])
+			}
+		}
+	}
+}
+
+func TestSampleUniformEdges(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+	const r = 4000
+
+	// Re-derive the positions the pass will draw so each sampled edge can be
+	// checked against the stream position it claims to hold.
+	posRNG := sampling.NewRNG(77)
+	positions := make([]int, r)
+	for i := range positions {
+		positions[i] = posRNG.Intn(m)
+	}
+	sampling.SortPositions(positions)
+
+	var base []graph.Edge
+	for _, workers := range workerSweep {
+		sample, err := passes.SampleUniformEdges(stream.FromGraph(g), sampling.NewRNG(77), m, r, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(sample) != r {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(sample), r)
+		}
+		for i, e := range sample {
+			if want := edges[positions[i]].Normalize(); e != want {
+				t.Fatalf("workers=%d: sample %d = %v, want edge at position %d = %v",
+					workers, i, e, positions[i], want)
+			}
+		}
+		if base == nil {
+			base = sample
+		} else if !slices.Equal(sample, base) {
+			t.Errorf("workers=%d: sample diverges from workers=1", workers)
+		}
+	}
+}
+
+// adjacency returns the neighbor multiset of v in the edge list.
+func adjacency(edges []graph.Edge, v int) []int {
+	var out []int
+	for _, e := range edges {
+		if e.U == v {
+			out = append(out, e.V)
+		}
+		if e.V == v {
+			out = append(out, e.U)
+		}
+	}
+	return out
+}
+
+func TestSampleNeighbors(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+
+	// A few instances per vertex, including a vertex with no edges.
+	vertices := []int{0, 1, 7, 100, 2500, 4999, 9999}
+	var instVertex []int
+	for _, v := range vertices {
+		instVertex = append(instVertex, v, v)
+	}
+	groups := graph.NewVertexGroups(slices.Clone(instVertex))
+	n := len(instVertex)
+
+	var base []sampling.Res1Merger
+	for _, workers := range workerSweep {
+		merged, err := passes.SampleNeighbors(
+			stream.FromGraph(g), m, workers, groups, n, 12345, 3, 4)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range instVertex {
+			adj := adjacency(edges, v)
+			if len(adj) == 0 {
+				if merged[i].Has() {
+					t.Errorf("workers=%d: instance %d (vertex %d) sampled from an empty neighborhood", workers, i, v)
+				}
+				continue
+			}
+			if !merged[i].Has() {
+				t.Errorf("workers=%d: instance %d (vertex %d) sampled nothing from %d neighbors", workers, i, v, len(adj))
+				continue
+			}
+			if !slices.Contains(adj, merged[i].W) {
+				t.Errorf("workers=%d: instance %d sampled %d, not a neighbor of %d", workers, i, merged[i].W, v)
+			}
+			if merged[i].N != int64(len(adj)) {
+				t.Errorf("workers=%d: instance %d saw %d offers, want %d", workers, i, merged[i].N, len(adj))
+			}
+		}
+		if base == nil {
+			base = merged
+		} else {
+			for i := range merged {
+				if merged[i].N != base[i].N || merged[i].W != base[i].W {
+					t.Errorf("workers=%d: instance %d sample diverges from workers=1", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleNeighborBanks(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+	const k = 3
+
+	vertices := []int{0, 3, 42, 1234, 4998}
+	groups := graph.NewVertexGroups(slices.Clone(vertices))
+	n := len(vertices)
+
+	var base [][]int
+	for _, workers := range workerSweep {
+		merged, err := passes.SampleNeighborBanks(
+			stream.FromGraph(g), m, workers, groups, n, k, 999, 30, 31)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		banks := make([][]int, n)
+		for i, v := range vertices {
+			adj := adjacency(edges, v)
+			if !merged[i].Has() {
+				t.Fatalf("workers=%d: vertex %d has %d neighbors but no samples", workers, v, len(adj))
+			}
+			if len(merged[i].W) != k {
+				t.Fatalf("workers=%d: vertex %d bank holds %d samples, want %d", workers, v, len(merged[i].W), k)
+			}
+			for j, w := range merged[i].W {
+				if !slices.Contains(adj, w) {
+					t.Errorf("workers=%d: bank[%d][%d] = %d, not a neighbor of %d", workers, i, j, w, v)
+				}
+			}
+			banks[i] = slices.Clone(merged[i].W)
+		}
+		if base == nil {
+			base = banks
+		} else {
+			for i := range banks {
+				if !slices.Equal(banks[i], base[i]) {
+					t.Errorf("workers=%d: bank %d diverges from workers=1: %v vs %v",
+						workers, i, banks[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestClosureBits(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+
+	// Half the keys are real edges, half are fabricated non-edges.
+	var keys []graph.Edge
+	for i := 0; i < 40; i++ {
+		keys = append(keys, edges[(i*997)%m])
+	}
+	for i := 0; i < 40; i++ {
+		keys = append(keys, graph.NewEdge(6000+i, 7000+i))
+	}
+	idx := graph.NewEdgeIndex(keys)
+
+	present := map[graph.Edge]bool{}
+	for _, e := range edges {
+		present[e.Normalize()] = true
+	}
+	degKeys := []int{0, 10, 20}
+	wantDeg := map[int]int{}
+	for _, e := range edges {
+		for _, v := range []int{e.U, e.V} {
+			if slices.Contains(degKeys, v) {
+				wantDeg[v]++
+			}
+		}
+	}
+
+	for _, workers := range workerSweep {
+		extraDeg := graph.NewSortedCounter(slices.Clone(degKeys))
+		bits, err := passes.ClosureBits(stream.FromGraph(g), m, workers, idx, len(keys), extraDeg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, key := range keys {
+			if bits.Test(i) != present[key.Normalize()] {
+				t.Errorf("workers=%d: item %d (%v) hit=%v, want %v",
+					workers, i, key, bits.Test(i), present[key.Normalize()])
+			}
+		}
+		for _, v := range degKeys {
+			if got, _ := extraDeg.Get(v); got != wantDeg[v] {
+				t.Errorf("workers=%d: extraDeg[%d] = %d, want %d", workers, v, got, wantDeg[v])
+			}
+		}
+	}
+}
+
+func TestClosureCounts(t *testing.T) {
+	// A stream with deliberate duplicates: counts must tally multiplicity.
+	var edges []graph.Edge
+	for i := 0; i < 20000; i++ {
+		edges = append(edges, graph.NewEdge(i%100, 100+i%7))
+	}
+	m := len(edges)
+
+	keys := []graph.Edge{
+		graph.NewEdge(0, 100),
+		graph.NewEdge(1, 101),
+		graph.NewEdge(55, 103),
+		graph.NewEdge(9999, 9998), // absent
+	}
+	idx := graph.NewEdgeIndex(keys)
+	want := make([]int, len(keys))
+	for _, e := range edges {
+		for i, key := range keys {
+			if e.Normalize() == key.Normalize() {
+				want[i]++
+			}
+		}
+	}
+
+	for _, workers := range workerSweep {
+		counts, err := passes.ClosureCounts(stream.FromEdges(slices.Clone(edges)), m, workers, idx, len(keys))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !slices.Equal(counts, want) {
+			t.Errorf("workers=%d: counts = %v, want %v", workers, counts, want)
+		}
+	}
+}
+
+// TestNeighborSampleUniformity spot-checks that the merged single-neighbor
+// sample is roughly uniform over the neighborhood when the instance count is
+// large: many instances share one vertex of known degree and the empirical
+// distribution over its neighbors must not be wildly skewed.
+func TestNeighborSampleUniformity(t *testing.T) {
+	// A star: vertex 0 with 64 leaves, embedded in filler edges so the stream
+	// spans several shards (the leaves' edges scatter across shards).
+	const leaves = 64
+	var edges []graph.Edge
+	for i := 0; i < leaves; i++ {
+		edges = append(edges, graph.NewEdge(0, 1+i))
+	}
+	for i := 0; i < 30000; i++ {
+		edges = append(edges, graph.NewEdge(1000+i%500, 2000+i%700))
+	}
+	// Interleave deterministically so the star edges are spread out.
+	rng := sampling.NewRNG(5)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	m := len(edges)
+
+	const n = 6000
+	instVertex := make([]int, n)
+	groups := graph.NewVertexGroups(slices.Clone(instVertex)) // all zeros: vertex 0
+	merged, err := passes.SampleNeighbors(stream.FromEdges(edges), m, 4, groups, n, 271828, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]int, leaves+1)
+	for i := range merged {
+		if !merged[i].Has() {
+			t.Fatalf("instance %d sampled nothing", i)
+		}
+		hist[merged[i].W]++
+	}
+	// Expected n/leaves ≈ 94 per leaf; allow a generous ±60% band.
+	lo, hi := n/leaves*2/5, n/leaves*8/5
+	for leaf := 1; leaf <= leaves; leaf++ {
+		if hist[leaf] < lo || hist[leaf] > hi {
+			t.Errorf("leaf %d drawn %d times, outside [%d, %d]", leaf, hist[leaf], lo, hi)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The hottest call site (EdgeIndex construction) sorts millions of Pairs on
+// big runs, directly through SortPairs; the generic benchmark measures the
+// permutation wrapper's overhead for element types that are not Pairs. The
+// SortPairs numbers must stay at parity with the specialized pre-unification
+// sorts (graph.sortPackedItems as of PR 2) — that is the reason the concrete
+// core is exported instead of funneling every caller through Sort.
+
+func benchInput(n int) []Pair {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]Pair, n)
+	for i := range a {
+		a[i] = Pair{Key: uint64(rng.Uint32())<<32 | uint64(rng.Uint32()), Item: int32(i)}
+	}
+	return a
+}
+
+func BenchmarkSortPairs2M(b *testing.B) {
+	input := benchInput(1 << 21)
+	work := make([]Pair, len(input))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, input)
+		SortPairs(work)
+	}
+}
+
+func BenchmarkSortGeneric2M(b *testing.B) {
+	input := benchInput(1 << 21)
+	work := make([]Pair, len(input))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, input)
+		Sort(work, func(p Pair) uint64 { return p.Key })
+	}
+}

@@ -1,0 +1,108 @@
+// Package radix provides the one LSD radix sort shared by the packages that
+// used to carry private copies (sampling.SortPositions over stream positions,
+// graph's packed edge-key/item pairs). The core sorts Pair records — a uint64
+// key with a 32-bit payload, the shape of every hot call site — and the
+// generic Sort adapts any element type onto that core through an index
+// permutation.
+package radix
+
+import (
+	"math"
+	"slices"
+)
+
+// fallbackLimit is the input size below which a comparison sort wins: the
+// counting passes only pay off once their Θ(n)-per-byte work amortizes over
+// enough elements.
+const fallbackLimit = 1024
+
+// Pair is the record the LSD core sorts: a uint64 key and a 32-bit payload
+// (an item id or an index into a caller-side array). Sorting concrete Pairs
+// keeps the per-byte loops free of indirect key-func calls and of
+// generic-width element moves — calling a key callback inside every byte
+// pass, or radix-sorting key-carrying copies of generic elements, measured
+// 1.5–3× slower on the 2M-record EdgeIndex build (see bench_test.go).
+type Pair struct {
+	Key  uint64
+	Item int32
+}
+
+// SortPairs orders a ascending by Key, stably (equal keys keep their relative
+// order). Large inputs take an LSD radix sort over the key bytes, skipping
+// bytes on which every key agrees; small inputs take a stable comparison
+// sort. Both paths produce the identical ordering, so the crossover never
+// affects results.
+func SortPairs(a []Pair) {
+	if len(a) < fallbackLimit {
+		slices.SortStableFunc(a, comparePairKeys)
+		return
+	}
+	var maxKey uint64
+	for i := range a {
+		if a[i].Key > maxKey {
+			maxKey = a[i].Key
+		}
+	}
+	buf := make([]Pair, len(a))
+	src, dst := a, buf
+	for shift := uint(0); shift < 64 && maxKey>>shift > 0; shift += 8 {
+		var counts [256]int
+		for i := range src {
+			counts[(src[i].Key>>shift)&0xff]++
+		}
+		if counts[(src[0].Key>>shift)&0xff] == len(src) {
+			continue // all keys share this byte; skip the pass
+		}
+		sum := 0
+		for i := range counts {
+			counts[i], sum = sum, sum+counts[i]
+		}
+		for i := range src {
+			b := (src[i].Key >> shift) & 0xff
+			dst[counts[b]] = src[i]
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+func comparePairKeys(x, y Pair) int {
+	switch {
+	case x.Key < y.Key:
+		return -1
+	case x.Key > y.Key:
+		return 1
+	}
+	return 0
+}
+
+// Sort orders a ascending by key, stably (elements with equal keys keep their
+// relative order), by running the Pair core over (key, index) records and
+// applying the resulting permutation. Elements are only touched in the O(n)
+// key-extraction and permutation passes; the per-byte work is all on concrete
+// Pairs. The ordering is identical to a stable comparison sort by key.
+func Sort[T any](a []T, key func(T) uint64) {
+	if len(a) < fallbackLimit || len(a) > math.MaxInt32 {
+		// Tiny inputs, and the (never seen in practice) inputs too long for
+		// an int32 index, take the comparison path.
+		slices.SortStableFunc(a, func(x, y T) int {
+			return comparePairKeys(Pair{Key: key(x)}, Pair{Key: key(y)})
+		})
+		return
+	}
+	pairs := make([]Pair, len(a))
+	for i, v := range a {
+		pairs[i] = Pair{Key: key(v), Item: int32(i)}
+	}
+	SortPairs(pairs)
+	// Apply the permutation: pairs[i].Item is the source index of the
+	// element that belongs at position i.
+	out := make([]T, len(a))
+	for i := range pairs {
+		out[i] = a[pairs[i].Item]
+	}
+	copy(a, out)
+}

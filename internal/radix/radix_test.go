@@ -1,0 +1,108 @@
+package radix
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+type pair struct {
+	key     uint64
+	payload int
+}
+
+func reference(a []pair) []pair {
+	out := slices.Clone(a)
+	slices.SortStableFunc(out, func(x, y pair) int {
+		switch {
+		case x.key < y.key:
+			return -1
+		case x.key > y.key:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+func checkAgainstReference(t *testing.T, name string, a []pair) {
+	t.Helper()
+	want := reference(a)
+	Sort(a, func(p pair) uint64 { return p.key })
+	if !slices.Equal(a, want) {
+		t.Errorf("%s: radix order diverges from the stable reference sort", name)
+	}
+}
+
+func TestSortMatchesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := map[string]func(i int) uint64{
+		// Small key range: many duplicates, stability is load-bearing.
+		"duplicates": func(int) uint64 { return uint64(rng.Intn(17)) },
+		// Uniform 32-bit keys: the common packed-edge shape.
+		"uniform32": func(int) uint64 { return uint64(rng.Uint32()) },
+		// Full 64-bit keys: exercises the high bytes.
+		"uniform64": func(int) uint64 { return rng.Uint64() },
+		// A constant middle byte: exercises the skip-byte fast path.
+		"skipbyte": func(int) uint64 { return uint64(rng.Intn(256))<<16 | 0xab00 | uint64(rng.Intn(256)) },
+		// Already sorted and reverse sorted inputs.
+		"sorted":  func(i int) uint64 { return uint64(i) },
+		"reverse": func(i int) uint64 { return uint64(1<<20 - i) },
+	}
+	for name, gen := range cases {
+		for _, n := range []int{0, 1, 7, fallbackLimit - 1, fallbackLimit, 5000} {
+			a := make([]pair, n)
+			for i := range a {
+				a[i] = pair{key: gen(i), payload: i}
+			}
+			checkAgainstReference(t, name, a)
+		}
+	}
+}
+
+func TestSortPairsMatchesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 7, fallbackLimit - 1, fallbackLimit, 5000} {
+		a := make([]Pair, n)
+		want := make([]pair, n)
+		for i := range a {
+			k := uint64(rng.Uint32()) // narrow range: some duplicate keys
+			a[i] = Pair{Key: k, Item: int32(i)}
+			want[i] = pair{key: k, payload: i}
+		}
+		want = reference(want)
+		SortPairs(a)
+		for i := range a {
+			if a[i].Key != want[i].key || int(a[i].Item) != want[i].payload {
+				t.Fatalf("n=%d: SortPairs[%d] = %+v, want {%d %d}", n, i, a[i], want[i].key, want[i].payload)
+			}
+		}
+	}
+}
+
+func TestSortAllEqualKeys(t *testing.T) {
+	a := make([]pair, 3000)
+	for i := range a {
+		a[i] = pair{key: 99, payload: i}
+	}
+	Sort(a, func(p pair) uint64 { return p.key })
+	for i, p := range a {
+		if p.payload != i {
+			t.Fatalf("equal-key sort reordered element %d (payload %d)", i, p.payload)
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]int, 4096)
+	for i := range a {
+		a[i] = rng.Intn(1 << 30)
+	}
+	want := slices.Clone(a)
+	slices.Sort(want)
+	Sort(a, func(v int) uint64 { return uint64(v) })
+	if !slices.Equal(a, want) {
+		t.Fatal("int sort diverges from slices.Sort")
+	}
+}

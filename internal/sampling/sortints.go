@@ -1,52 +1,24 @@
 package sampling
 
-import "slices"
+import (
+	"slices"
+
+	"degentri/internal/radix"
+)
 
 // SortPositions sorts a slice of non-negative ints (stream positions drawn by
-// the estimators' pass-1 samplers) ascending. For large slices it uses an LSD
-// radix sort — the positions are uniform in [0, m), so a comparison sort pays
-// Θ(r log r) where counting passes pay Θ(r) — and falls back to slices.Sort
-// below the crossover. The output is exactly sorted order either way, so the
-// choice never affects results.
+// the estimators' pass-1 samplers) ascending via the shared LSD radix sort —
+// the positions are uniform in [0, m), so a comparison sort pays Θ(r log r)
+// where counting passes pay Θ(r). The output is exactly sorted order either
+// way, so the radix/comparison crossover never affects results.
 func SortPositions(a []int) {
-	const radixMin = 1024
-	if len(a) < radixMin {
-		slices.Sort(a)
-		return
-	}
-	maxVal := 0
 	for _, v := range a {
 		if v < 0 {
-			// Negative positions never occur; don't misorder them if they do.
+			// Negative positions never occur; don't misorder them if they do
+			// (uint64 keys would sort them after every valid position).
 			slices.Sort(a)
 			return
 		}
-		if v > maxVal {
-			maxVal = v
-		}
 	}
-	buf := make([]int, len(a))
-	src, dst := a, buf
-	for shift := uint(0); maxVal>>shift > 0; shift += 8 {
-		var counts [256]int
-		for _, v := range src {
-			counts[(v>>shift)&0xff]++
-		}
-		if counts[src[0]>>shift&0xff] == len(src) {
-			continue // all keys share this byte; skip the pass
-		}
-		sum := 0
-		for i := range counts {
-			counts[i], sum = sum, sum+counts[i]
-		}
-		for _, v := range src {
-			b := (v >> shift) & 0xff
-			dst[counts[b]] = v
-			counts[b]++
-		}
-		src, dst = dst, src
-	}
-	if &src[0] != &a[0] {
-		copy(a, src)
-	}
+	radix.Sort(a, func(v int) uint64 { return uint64(v) })
 }
