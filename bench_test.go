@@ -1,7 +1,7 @@
 package degentri
 
 // Repository-level benchmark harness: one testing.B benchmark per reproduced
-// experiment (E1–E10, see DESIGN.md §4). Each benchmark executes the
+// experiment (E1–E12, see DESIGN.md §4). Each benchmark executes the
 // experiment end to end — workload generation, streaming estimation across
 // trials, table rendering — at smoke scale so that `go test -bench=.` stays
 // in the seconds range; run `go run ./cmd/experiments -scale full` for the
@@ -85,3 +85,7 @@ func BenchmarkE10OnePassComparison(b *testing.B) { runExperiment(b, "E10") }
 // BenchmarkE11CliqueExtension measures the streaming 4-clique estimator that
 // implements the paper's Conjecture 7.1 future-work direction.
 func BenchmarkE11CliqueExtension(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12DegeneracyApprox measures the streaming degeneracy
+// approximation that replaced the materializing κ fallback.
+func BenchmarkE12DegeneracyApprox(b *testing.B) { runExperiment(b, "E12") }

@@ -1,4 +1,4 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E10, see
+// Command experiments regenerates the paper-reproduction tables (E1–E12, see
 // DESIGN.md §4) and prints them as markdown, optionally writing them to a
 // file for inclusion in EXPERIMENTS.md.
 //

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	trianglecount -input graph.txt                      # streaming estimate, auto parameters
+//	trianglecount -input graph.txt                      # streaming estimate, auto parameters (κ approximated in-stream)
 //	trianglecount -input graph.bex -workers 8           # binary input, explicit shard workers
 //	trianglecount -input graph.txt -kappa 4 -guess 1e6  # streaming estimate, explicit bounds
+//	trianglecount -input graph.txt -exact-kappa         # exact κ bound (materializes the graph)
 //	trianglecount -input graph.txt -exact               # exact count (materializes the graph)
 //	trianglecount -input graph.txt -stats               # exact structural summary
 package main
@@ -25,7 +26,8 @@ func main() {
 		exact   = flag.Bool("exact", false, "compute the exact triangle count instead of estimating")
 		stats   = flag.Bool("stats", false, "print the exact structural summary (n, m, T, κ, ∆, transitivity)")
 		epsilon = flag.Float64("epsilon", 0.1, "target relative error of the estimate")
-		kappa   = flag.Int("kappa", 0, "upper bound on the degeneracy (0 = compute exactly, costs one materializing pass)")
+		kappa   = flag.Int("kappa", 0, "upper bound on the degeneracy (0 = streaming 3-approximation in O(n) space)")
+		exactK  = flag.Bool("exact-kappa", false, "with -kappa 0, compute the exact degeneracy instead (materializes the graph, Θ(m) memory)")
 		guess   = flag.Int64("guess", 0, "lower-bound guess for the triangle count (0 = geometric search)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
@@ -57,15 +59,23 @@ func main() {
 		res, err := triangle.EstimateFile(*input, triangle.Options{
 			Epsilon:          *epsilon,
 			Degeneracy:       *kappa,
+			ExactDegeneracy:  *exactK,
 			TriangleGuess:    *guess,
 			Seed:             *seed,
 			SampleMultiplier: *mult,
 			Workers:          *workers,
 		})
 		exitOn(err)
+		kappaSource := "supplied"
+		switch {
+		case res.DegeneracyApprox:
+			kappaSource = "streaming approx"
+		case *kappa <= 0:
+			kappaSource = "exact, materialized"
+		}
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
 		fmt.Printf("edges:               %d\n", res.Edges)
-		fmt.Printf("degeneracy bound:    %d\n", res.DegeneracyBound)
+		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource)
 		fmt.Printf("stream passes:       %d\n", res.Passes)
 		fmt.Printf("space (words):       %d\n", res.SpaceWords)
 		if res.Aborted {

@@ -1,10 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"degentri/internal/degen"
 	"degentri/internal/stream"
 )
+
+// ErrNoEdges is returned by AutoEstimate and Estimator.Run when the stream
+// holds no edges: with m = 0 there is no T ≤ 2mκ search range and no
+// estimate to report. The facade maps it onto its own ErrNoEdges so the
+// in-memory and file entry points fail identically on empty inputs.
+var ErrNoEdges = errors.New("core: stream contains no edges")
 
 // AutoEstimate removes the "T is known" assumption behind Config.TGuess by
 // the standard geometric search: start from the Chiba–Nishizeki upper bound
@@ -13,8 +21,13 @@ import (
 // sample sizes, so the total space is within a constant factor of the space
 // the final accepted run uses, and the number of passes is 6·O(log(mκ)).
 //
+// When cfg.Kappa is 0 the degeneracy bound is first approximated from the
+// stream by the peeling estimator of internal/degen (once, shared by every
+// probe run of the search), and the result carries KappaApprox = true.
+//
 // The returned Result is the accepted run's result with Passes replaced by
-// the cumulative pass count of the whole search.
+// the cumulative pass count of the whole search and SpaceWords raised to the
+// peeling pass's O(n) words when that phase dominated.
 func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -29,7 +42,46 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 		}
 	}
 	if m == 0 {
-		return Result{EdgesInStream: 0, Passes: counter.Passes()}, nil
+		return Result{EdgesInStream: 0, Passes: counter.Passes()}, ErrNoEdges
+	}
+
+	// Resolve an unknown κ once, up front: every probe run of the search
+	// reuses the same bound, so the peeling passes are paid a single time.
+	kappaApprox := false
+	var kappaSpace int64
+	if cfg.Kappa == 0 {
+		dres, err := degen.Estimate(counter, m, degen.Options{Workers: cfg.Workers})
+		if err != nil {
+			return Result{EdgesInStream: m, Passes: counter.Passes()}, err
+		}
+		cfg.Kappa = dres.Kappa
+		if cfg.Kappa < 1 {
+			cfg.Kappa = 1
+		}
+		kappaApprox = true
+		kappaSpace = dres.SpaceWords
+		// The peel's O(n) words are subject to the same Markov cutoff the
+		// probe runs enforce (Estimator.Run charges the identical phase when
+		// it resolves κ itself).
+		if cfg.MaxSpaceWords > 0 && kappaSpace > cfg.MaxSpaceWords {
+			return Result{
+				EdgesInStream: m,
+				SpaceWords:    kappaSpace,
+				KappaBound:    cfg.Kappa,
+				KappaApprox:   true,
+				Passes:        counter.Passes(),
+				Aborted:       true,
+			}, nil
+		}
+	}
+	finish := func(res Result) Result {
+		res.KappaBound = cfg.Kappa
+		res.KappaApprox = kappaApprox
+		if kappaSpace > res.SpaceWords {
+			res.SpaceWords = kappaSpace
+		}
+		res.Passes = counter.Passes()
+		return res
 	}
 
 	guess := int64(2) * int64(m) * int64(cfg.Kappa)
@@ -44,13 +96,12 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37
 		res, err := EstimateTriangles(counter, runCfg)
 		if err != nil {
-			return res, fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
+			return finish(res), fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
 		}
 		attempt++
 		last = res
 		if res.Aborted {
-			last.Passes = counter.Passes()
-			return last, nil
+			return finish(last), nil
 		}
 		if res.Estimate >= float64(guess) || guess == 1 {
 			break
@@ -77,12 +128,11 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37 + 0x51ed
 		res, err := EstimateTriangles(counter, runCfg)
 		if err != nil {
-			return res, fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err)
+			return finish(res), fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err)
 		}
 		if !res.Aborted {
 			last = res
 		}
 	}
-	last.Passes = counter.Passes()
-	return last, nil
+	return finish(last), nil
 }

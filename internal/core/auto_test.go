@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"degentri/internal/gen"
@@ -9,10 +10,12 @@ import (
 )
 
 func TestAutoEstimateEmptyStream(t *testing.T) {
+	// Consistent with the facade's ErrNoEdges: an empty stream is an error,
+	// not a silent zero estimate.
 	cfg := DefaultConfig(0.2, 1, 1)
 	res, err := AutoEstimate(stream.FromEdges(nil), cfg)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("expected ErrNoEdges, got %v", err)
 	}
 	if res.Estimate != 0 {
 		t.Fatalf("estimate %v", res.Estimate)
@@ -62,6 +65,27 @@ func TestAutoEstimateTriangleFreeConverges(t *testing.T) {
 	}
 	if res.Estimate != 0 {
 		t.Fatalf("estimate %v on triangle-free graph", res.Estimate)
+	}
+}
+
+func TestAutoEstimateKappaPeelRespectsSpaceCutoff(t *testing.T) {
+	// With Kappa unknown, the O(n)-word peel state itself is subject to the
+	// Markov cutoff, exactly as when Estimator.Run resolves κ.
+	g := gen.Wheel(2000) // peel state ≈ n words ≫ the budget below
+	cfg := DefaultConfig(0.25, 0, 1)
+	cfg.MaxSpaceWords = 100
+	res, err := AutoEstimate(stream.FromGraphShuffled(g, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("expected the κ peel to trip the space cutoff")
+	}
+	if !res.KappaApprox || res.KappaBound < 1 {
+		t.Fatalf("aborted result should still report the κ it derived: %+v", res)
+	}
+	if res.SpaceWords <= cfg.MaxSpaceWords {
+		t.Fatalf("accounted space %d should exceed the budget %d", res.SpaceWords, cfg.MaxSpaceWords)
 	}
 }
 

@@ -68,8 +68,11 @@ type Config struct {
 	// Epsilon is the target relative error ε ∈ (0, 1).
 	Epsilon float64
 	// Kappa is an upper bound on the degeneracy κ(G). Experiments pass the
-	// exact value; AutoKappa in the facade can estimate it with one extra
-	// materializing pass when the caller has no bound.
+	// exact value. Zero means the bound is unknown: the estimator derives one
+	// with the streaming peeling approximation of internal/degen — O(n) words
+	// and O(log n) extra passes, κ ≤ bound ≤ (2+ε)κ — before sizing its
+	// samples. Result.KappaBound reports the value used and KappaApprox
+	// whether it was estimated.
 	Kappa int
 	// TGuess is the current guess (lower bound) for the triangle count used
 	// to size the samples. AutoEstimate drives it by geometric search.
@@ -119,8 +122,8 @@ func (c Config) Validate() error {
 	if c.Epsilon <= 0 || c.Epsilon >= 1 {
 		return fmt.Errorf("core: epsilon must be in (0,1), got %v", c.Epsilon)
 	}
-	if c.Kappa < 1 {
-		return fmt.Errorf("core: kappa must be >= 1, got %d", c.Kappa)
+	if c.Kappa < 0 {
+		return fmt.Errorf("core: kappa must be >= 0 (0 = estimate from the stream), got %d", c.Kappa)
 	}
 	if c.TGuess < 1 {
 		return fmt.Errorf("core: TGuess must be >= 1, got %d", c.TGuess)

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"degentri/internal/degen"
 	"degentri/internal/graph"
 	"degentri/internal/passes"
 	"degentri/internal/sampling"
@@ -101,9 +102,37 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	res.EdgesInStream = m
 	if m == 0 {
 		res.Passes = counter.Passes()
-		return res, nil
+		return res, ErrNoEdges
 	}
 	workers := est.workers()
+
+	// Resolve an unknown degeneracy bound with the streaming peeling
+	// approximation — O(n) words, O(log n) passes — instead of materializing
+	// the graph. The peel state is transient (released before the sampling
+	// passes), so it contributes to the peak, not to the steady-state charge.
+	res.KappaBound = cfg.Kappa
+	if cfg.Kappa == 0 {
+		dres, derr := degen.Estimate(counter, m, degen.Options{Workers: workers})
+		if derr != nil {
+			return res, derr
+		}
+		kappa := dres.Kappa
+		if kappa < 1 {
+			kappa = 1
+		}
+		est.cfg.Kappa = kappa
+		cfg.Kappa = kappa
+		res.KappaBound = kappa
+		res.KappaApprox = true
+		est.meter.Charge(dres.SpaceWords)
+		if est.overBudget() {
+			res.Aborted = true
+			res.Passes = counter.Passes()
+			res.SpaceWords = est.meter.Peak()
+			return res, nil
+		}
+		est.meter.Release(dres.SpaceWords)
+	}
 
 	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
 	r := cfg.sampleSizeR(m)

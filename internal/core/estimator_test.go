@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -31,10 +32,12 @@ func estimateRelErr(t *testing.T, g *graph.Graph, cfg Config, trials int) float6
 }
 
 func TestEstimatorEmptyStream(t *testing.T) {
+	// Consistent with AutoEstimate and the facade: an empty stream is
+	// ErrNoEdges, never a silent zero estimate.
 	cfg := DefaultConfig(0.2, 1, 1)
 	res, err := EstimateTriangles(stream.FromEdges(nil), cfg)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("expected ErrNoEdges, got %v", err)
 	}
 	if res.Estimate != 0 || res.EdgesInStream != 0 {
 		t.Fatalf("empty stream result %+v", res)

@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{"E9", "Space scaling with the degeneracy κ", "Theorem 1.2 bound shape", E9KappaScaling},
 		{"E10", "Equal-space comparison on max-degree-skewed graphs", "Table 1 one-pass rows (m∆/T, sparsification)", E10OnePassComparison},
 		{"E11", "Streaming k-clique counting extension", "Conjecture 7.1 (future work)", E11CliqueExtension},
+		{"E12", "Streaming degeneracy approximation: certified bounds in O(n) space", "Definition 1.1 / the 'κ is known' assumption", E12DegeneracyApprox},
 	}
 }
 

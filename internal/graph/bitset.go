@@ -29,6 +29,34 @@ func (b *Bitset) Test(i int) bool {
 	return b.words[uint(i)/64]&(1<<(uint(i)%64)) != 0
 }
 
+// Unset clears bit i.
+func (b *Bitset) Unset(i int) {
+	b.words[uint(i)/64] &^= 1 << (uint(i) % 64)
+}
+
+// SetAll sets every bit in [0, Len()). Bits beyond Len() in the last word
+// stay zero so Count stays exact.
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n % 64; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << tail) - 1
+	}
+}
+
+// ForEach invokes fn for every set bit in ascending order. fn may Unset the
+// bit it is visiting (each word is iterated from a snapshot).
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi * 64
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // Or merges other into b. The two bitsets must have the same length.
 func (b *Bitset) Or(other *Bitset) {
 	if other.n != b.n {

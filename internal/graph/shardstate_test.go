@@ -55,6 +55,50 @@ func TestBitset(t *testing.T) {
 	}
 }
 
+func TestBitsetSetAllUnsetForEach(t *testing.T) {
+	// 130 exercises a partial last word; the tail bits past Len must stay
+	// clear so Count stays exact.
+	b := NewBitset(130)
+	b.SetAll()
+	if b.Count() != 130 {
+		t.Fatalf("Count after SetAll = %d, want 130", b.Count())
+	}
+	b.Unset(0)
+	b.Unset(64)
+	b.Unset(129)
+	if b.Count() != 127 || b.Test(64) || b.Test(129) {
+		t.Fatalf("Unset broken: count=%d", b.Count())
+	}
+	var visited []int
+	b.ForEach(func(i int) {
+		if len(visited) < 3 {
+			visited = append(visited, i)
+		}
+		// Unsetting the visited bit mid-iteration must be safe (the peel
+		// loop in internal/degen relies on this).
+		b.Unset(i)
+	})
+	if len(visited) < 3 || visited[0] != 1 || visited[1] != 2 || visited[2] != 3 {
+		t.Fatalf("ForEach order broken: %v", visited)
+	}
+	if b.Count() != 0 {
+		t.Fatalf("ForEach+Unset left %d bits", b.Count())
+	}
+	// Exact multiple of 64: SetAll must not touch nonexistent tail bits.
+	c := NewBitset(128)
+	c.SetAll()
+	if c.Count() != 128 {
+		t.Fatalf("Count = %d, want 128", c.Count())
+	}
+	// Empty bitset: all new methods are no-ops.
+	e := NewBitset(0)
+	e.SetAll()
+	e.ForEach(func(int) { t.Fatal("empty bitset visited a bit") })
+	if e.Count() != 0 {
+		t.Fatal("empty bitset counts bits")
+	}
+}
+
 func TestTriangleIndex(t *testing.T) {
 	tris := []Triangle{
 		NewTriangle(5, 2, 9),

@@ -37,6 +37,7 @@ package passes
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"degentri/internal/graph"
 	"degentri/internal/sampling"
@@ -93,6 +94,79 @@ func CountDegrees(s stream.Stream, m, workers int, deg *graph.SortedCounter) err
 			}
 		},
 		func(c *graph.SortedCounter, _ int) { deg.Merge(c) })
+}
+
+// MaxVertexID runs one sharded pass returning the largest vertex ID in the
+// stream, or -1 when the stream has no non-negative IDs. The pass is
+// deterministic (max is order-independent) and retains O(1) state per shard.
+func MaxVertexID(s stream.Stream, m, workers int) (int, error) {
+	var shardMax [stream.NumShards]int
+	for i := range shardMax {
+		shardMax[i] = -1
+	}
+	maxID := -1
+	_, err := stream.ShardedForEachBatch(s, m, workers,
+		func(shard int, batch []graph.Edge) error {
+			top := shardMax[shard]
+			for _, e := range batch {
+				if e.U > top {
+					top = e.U
+				}
+				if e.V > top {
+					top = e.V
+				}
+			}
+			shardMax[shard] = top
+			return nil
+		},
+		func(shard int) error {
+			if shardMax[shard] > maxID {
+				maxID = shardMax[shard]
+			}
+			return nil
+		})
+	if err != nil {
+		return -1, err
+	}
+	return maxID, nil
+}
+
+// CountDegreesMasked runs one sharded pass counting, into the dense array deg,
+// the degrees of the subgraph induced by the alive vertices: an edge
+// contributes to both endpoints exactly when both are alive bits of the mask.
+// Self-loops and endpoints outside [0, len(deg)) are skipped. It returns the
+// number of stream edges that contributed (the induced edge count, duplicates
+// tallied faithfully).
+//
+// Unlike CountDegrees this pass writes a shared dense array with atomic adds
+// instead of pooled forks: integer addition is commutative and associative, so
+// the result is bit-identical at any worker count without per-shard O(n)
+// scratch — the whole point of the pass is staying at O(n) words total.
+func CountDegreesMasked(s stream.Stream, m, workers int, alive *graph.Bitset, deg []int32) (int64, error) {
+	n := uint(len(deg))
+	var induced atomic.Int64
+	_, err := stream.ShardedForEachBatch(s, m, workers,
+		func(_ int, batch []graph.Edge) error {
+			local := int64(0)
+			for _, e := range batch {
+				if e.U == e.V || uint(e.U) >= n || uint(e.V) >= n {
+					continue
+				}
+				if !alive.Test(e.U) || !alive.Test(e.V) {
+					continue
+				}
+				atomic.AddInt32(&deg[e.U], 1)
+				atomic.AddInt32(&deg[e.V], 1)
+				local++
+			}
+			induced.Add(local)
+			return nil
+		},
+		func(int) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return induced.Load(), nil
 }
 
 // positionShard is the per-shard cursor of the uniform edge-sampling pass:

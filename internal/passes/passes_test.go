@@ -57,6 +57,86 @@ func TestCountDegrees(t *testing.T) {
 	}
 }
 
+func TestMaxVertexID(t *testing.T) {
+	g := testGraph(t)
+	m := g.NumEdges()
+	want := -1
+	for _, e := range g.Edges() {
+		if e.U > want {
+			want = e.U
+		}
+		if e.V > want {
+			want = e.V
+		}
+	}
+	for _, workers := range workerSweep {
+		got, err := passes.MaxVertexID(stream.FromGraph(g), m, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: max ID = %d, want %d", workers, got, want)
+		}
+	}
+	// Streams with no usable IDs report -1.
+	neg := []graph.Edge{{U: -1, V: -2}, {U: -7, V: -3}}
+	got, err := passes.MaxVertexID(stream.FromEdges(neg), len(neg), 1)
+	if err != nil || got != -1 {
+		t.Fatalf("negative-only stream: %d, %v", got, err)
+	}
+}
+
+func TestCountDegreesMasked(t *testing.T) {
+	g := testGraph(t)
+	edges := g.Edges()
+	m := len(edges)
+	n := g.NumVertices()
+
+	// Kill every third vertex; the pass must count only edges whose both
+	// endpoints survive.
+	alive := graph.NewBitset(n)
+	alive.SetAll()
+	for v := 0; v < n; v += 3 {
+		alive.Unset(v)
+	}
+	want := make([]int32, n)
+	var wantEdges int64
+	for _, e := range edges {
+		if alive.Test(e.U) && alive.Test(e.V) {
+			want[e.U]++
+			want[e.V]++
+			wantEdges++
+		}
+	}
+	for _, workers := range workerSweep {
+		deg := make([]int32, n)
+		induced, err := passes.CountDegreesMasked(stream.FromGraph(g), m, workers, alive, deg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if induced != wantEdges {
+			t.Errorf("workers=%d: induced edges = %d, want %d", workers, induced, wantEdges)
+		}
+		if !slices.Equal(deg, want) {
+			t.Errorf("workers=%d: induced degrees diverge from the brute-force count", workers)
+		}
+	}
+
+	// Self loops and out-of-range endpoints are skipped, not counted and not
+	// a crash.
+	dirty := []graph.Edge{{U: 0, V: 0}, {U: -1, V: 1}, {U: 1, V: 99}, {U: 1, V: 2}}
+	small := graph.NewBitset(3)
+	small.SetAll()
+	deg := make([]int32, 3)
+	induced, err := passes.CountDegreesMasked(stream.FromEdges(dirty), len(dirty), 1, small, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if induced != 1 || deg[0] != 0 || deg[1] != 1 || deg[2] != 1 {
+		t.Fatalf("dirty stream: induced=%d deg=%v", induced, deg)
+	}
+}
+
 func TestSampleUniformEdges(t *testing.T) {
 	g := testGraph(t)
 	edges := g.Edges()

@@ -39,6 +39,22 @@ func WriteBex(w io.Writer, s Stream) (int, error) {
 	if !known && !seekable {
 		return 0, fmt.Errorf("stream: .bex needs a known length or a seekable writer")
 	}
+	// Record where the header lands so the length prefix can be patched even
+	// when the writer is not positioned at the start of its file (appending
+	// a .bex section to a container file, for example). Patching at absolute
+	// offset 0 would corrupt whatever the caller wrote before us.
+	var base int64
+	if seekable {
+		off, err := seeker.Seek(0, io.SeekCurrent)
+		if err != nil {
+			if !known {
+				return 0, fmt.Errorf("stream: .bex base offset: %w", err)
+			}
+			seekable = false
+		} else {
+			base = off
+		}
+	}
 	header := make([]byte, bexHeaderSize)
 	copy(header, bexMagic)
 	binary.LittleEndian.PutUint64(header[8:], uint64(m))
@@ -65,14 +81,16 @@ func WriteBex(w io.Writer, s Stream) (int, error) {
 		if !seekable {
 			return n, fmt.Errorf("stream: .bex length prefix %d but stream held %d edges", m, n)
 		}
-		if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+		if _, err := seeker.Seek(base, io.SeekStart); err != nil {
 			return n, err
 		}
 		binary.LittleEndian.PutUint64(header[8:], uint64(n))
 		if _, err := w.Write(header); err != nil {
 			return n, err
 		}
-		if _, err := seeker.Seek(0, io.SeekEnd); err != nil {
+		// Reposition to the end of the records just written (not SeekEnd:
+		// the caller's file may extend past our section).
+		if _, err := seeker.Seek(base+bexHeaderSize+int64(n)*bexRecordSize, io.SeekStart); err != nil {
 			return n, err
 		}
 	}
@@ -108,7 +126,10 @@ type BexStream struct {
 }
 
 // OpenBex opens a .bex file, validating the header eagerly (unlike OpenFile,
-// a malformed file fails at open time).
+// a malformed file fails at open time): bad magic, an implausible count, or a
+// file size that disagrees with the count (a truncated download, a lying
+// header) are all reported here rather than as a mid-pass truncation error on
+// edge k.
 func OpenBex(path string) (*BexStream, error) {
 	file, err := os.Open(path)
 	if err != nil {
@@ -118,6 +139,14 @@ func OpenBex(path string) (*BexStream, error) {
 	if err != nil {
 		file.Close()
 		return nil, err
+	}
+	if info, serr := file.Stat(); serr == nil && info.Mode().IsRegular() {
+		want := int64(bexHeaderSize) + int64(m)*bexRecordSize
+		if info.Size() != want {
+			file.Close()
+			return nil, fmt.Errorf("stream: %s: header declares %d edges (%d bytes) but the file holds %d bytes",
+				path, m, want, info.Size())
+		}
 	}
 	return &BexStream{path: path, file: file, m: m}, nil
 }

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"degentri/internal/graph"
+)
+
+// hideLen masks a stream's length so WriteBex must take the patch-afterwards
+// path that relies on the writer being seekable.
+type hideLen struct{ Stream }
+
+func (hideLen) Len() (int, bool) { return 0, false }
+
+// TestWriteBexAtNonzeroOffset pins the length-prefix patch to the header's
+// own base offset: a seekable writer positioned mid-file (a .bex section
+// appended after other content) must not have its first bytes overwritten.
+func TestWriteBexAtNonzeroOffset(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	path := filepath.Join(t.TempDir(), "offset.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	prefix := []byte("CONTAINER-HEADER")
+	if _, err := f.Write(prefix); err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteBex(f, hideLen{FromEdges(edges)})
+	if err != nil || n != len(edges) {
+		t.Fatalf("WriteBex = %d, %v", n, err)
+	}
+	// The writer must be left at the end of the .bex section.
+	if pos, err := f.Seek(0, 1); err != nil || pos != int64(len(prefix)+bexHeaderSize+n*bexRecordSize) {
+		t.Fatalf("writer position = %d, %v", pos, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:len(prefix)]) != string(prefix) {
+		t.Fatalf("prefix corrupted by the length patch: %q", raw[:len(prefix)])
+	}
+	section := raw[len(prefix):]
+	if string(section[:4]) != bexMagic {
+		t.Fatalf("no magic at the base offset: %q", section[:4])
+	}
+	if got := binary.LittleEndian.Uint64(section[8:]); got != uint64(len(edges)) {
+		t.Fatalf("patched edge count = %d, want %d", got, len(edges))
+	}
+	for i, e := range edges {
+		rec := section[bexHeaderSize+i*bexRecordSize:]
+		if got := decodeBexRecord(rec); got != e {
+			t.Fatalf("record %d = %v, want %v", i, got, e)
+		}
+	}
+}
+
+// TestOpenBexValidatesFileSize pins the open-time size check: a truncated
+// file or a header that lies about its edge count fails at OpenBex, not with
+// a mid-pass truncation error on edge k.
+func TestOpenBexValidatesFileSize(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.bex")
+	if _, err := WriteBexFile(good, FromEdges(edges)); err != nil {
+		t.Fatal(err)
+	}
+	if bs, err := OpenBex(good); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	} else {
+		bs.Close()
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := filepath.Join(dir, "truncated.bex")
+	if err := os.WriteFile(truncated, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBex(truncated); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("truncated file should fail at open time, got %v", err)
+	}
+
+	lying := filepath.Join(dir, "lying.bex")
+	forged := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(forged[8:], uint64(len(edges)+7))
+	if err := os.WriteFile(lying, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBex(lying); err == nil {
+		t.Fatal("over-declared edge count should fail at open time")
+	}
+
+	trailing := filepath.Join(dir, "trailing.bex")
+	if err := os.WriteFile(trailing, append(append([]byte(nil), raw...), 0xAA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBex(trailing); err == nil {
+		t.Fatal("trailing garbage should fail at open time")
+	}
+}
+
+// TestWriteBexNonSeekableStillNeedsLength documents the unchanged contract
+// for non-seekable writers.
+func TestWriteBexNonSeekableStillNeedsLength(t *testing.T) {
+	var sink writerOnly
+	if _, err := WriteBex(&sink, hideLen{FromEdges([]graph.Edge{{U: 0, V: 1}})}); err == nil {
+		t.Fatal("unknown length + non-seekable writer must error")
+	}
+	if n, err := WriteBex(&sink, FromEdges([]graph.Edge{{U: 0, V: 1}})); err != nil || n != 1 {
+		t.Fatalf("known length + non-seekable writer: %d, %v", n, err)
+	}
+}
+
+type writerOnly struct{ n int }
+
+func (w *writerOnly) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

@@ -16,7 +16,7 @@ type CliqueOptions struct {
 	// Epsilon is the target relative error in (0,1). Defaults to 0.1.
 	Epsilon float64
 	// Degeneracy is an upper bound on κ. When zero it is computed exactly
-	// with one materializing pass.
+	// from the in-memory graph (which this entry point builds anyway).
 	Degeneracy int
 	// CliqueGuess is a lower-bound guess on the number of K-cliques used to
 	// size the samples; it is required (the clique estimator does not run the
@@ -44,6 +44,10 @@ func EstimateCliques(edges []Edge, opts CliqueOptions) (Result, error) {
 		return Result{}, fmt.Errorf("triangle: CliqueGuess must be a positive lower bound on the %d-clique count", opts.K)
 	}
 	g := buildGraph(edges)
+	if g.NumEdges() == 0 {
+		// Every edge was a self loop or had a negative ID (see Estimate).
+		return Result{}, ErrNoEdges
+	}
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
 		kappa = g.Degeneracy()

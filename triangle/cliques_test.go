@@ -39,6 +39,11 @@ func TestEstimateCliquesValidation(t *testing.T) {
 	if _, err := EstimateCliques(completeEdges(5), CliqueOptions{K: 2, CliqueGuess: 1}); err == nil {
 		t.Error("K=2 should be rejected")
 	}
+	// Inputs that canonicalize to nothing are as empty as nil.
+	loops := []Edge{{3, 3}, {-1, 2}}
+	if _, err := EstimateCliques(loops, CliqueOptions{K: 4, CliqueGuess: 1}); err != ErrNoEdges {
+		t.Errorf("all-dropped input: expected ErrNoEdges, got %v", err)
+	}
 }
 
 func TestEstimateCliquesAccuracy(t *testing.T) {

@@ -38,12 +38,20 @@ type Options struct {
 	// Epsilon is the target relative error in (0, 1). Defaults to 0.1.
 	Epsilon float64
 	// Degeneracy is an upper bound on the graph degeneracy κ. When zero the
-	// library computes the exact degeneracy with one materializing pass —
-	// convenient, but it forfeits the streaming space guarantee; callers who
-	// care about space should supply a bound (for example 3 for planar-like
-	// graphs, or the attachment parameter for preferential-attachment
-	// graphs).
+	// library approximates one from the stream itself with the chunked
+	// peeling estimator (internal/degen): O(n) words and O(log n) extra
+	// passes for a certified bound κ ≤ κ̂ ≤ 2(1+ε)·κ — factor 3 at the
+	// default peel slack ε = 0.5 — preserving the streaming space guarantee. Callers who know a bound (for example 3 for
+	// planar-like graphs, or the attachment parameter for
+	// preferential-attachment graphs) should supply it — the estimator's
+	// space scales with the bound it is given.
 	Degeneracy int
+	// ExactDegeneracy computes the exact κ instead of the streaming
+	// approximation when Degeneracy is zero. This materializes the graph —
+	// Θ(m) memory, forfeiting the streaming guarantee — and exists as the
+	// escape hatch for callers who want the tightest possible bound and can
+	// afford the memory.
+	ExactDegeneracy bool
 	// TriangleGuess is a lower-bound guess for the triangle count T used to
 	// size the samples. When zero the estimator performs the standard
 	// geometric search starting from the 2mκ upper bound.
@@ -73,6 +81,12 @@ type Result struct {
 	Edges int
 	// DegeneracyBound is the κ value the estimator used.
 	DegeneracyBound int
+	// DegeneracyApprox reports that DegeneracyBound was approximated from the
+	// stream by the O(n)-space peeling estimator (Options.Degeneracy was zero
+	// and ExactDegeneracy was off). The bound is then at most 2(1+ε) times
+	// the true κ (3× at the default peel slack ε = 0.5); Passes and
+	// SpaceWords include the peeling phase.
+	DegeneracyApprox bool
 	// Aborted reports that the MaxSpaceWords cutoff fired.
 	Aborted bool
 }
@@ -166,11 +180,23 @@ func statsOf(g *graph.Graph) Stats {
 // seeded arbitrary order). For callers that already hold all edges in memory
 // this is mostly useful for testing configurations; EstimateFile is the
 // streaming entry point.
+//
+// The edge list is canonicalized before streaming: duplicate edges, self
+// loops, and negative-ID edges are dropped, so the estimate targets the
+// simple graph and Result.Edges reports the deduplicated count. This differs
+// from EstimateFile, which streams the file verbatim (multigraph semantics).
+// An input whose every edge is a loop or negative returns ErrNoEdges, the
+// same as an empty list.
 func Estimate(edges []Edge, opts Options) (Result, error) {
 	if len(edges) == 0 {
 		return Result{}, ErrNoEdges
 	}
 	g := buildGraph(edges)
+	if g.NumEdges() == 0 {
+		// Every edge was a self loop or had a negative ID; after filtering
+		// the stream is as empty as a nil input.
+		return Result{}, ErrNoEdges
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -178,18 +204,30 @@ func Estimate(edges []Edge, opts Options) (Result, error) {
 	src := stream.FromGraphShuffled(g, seed)
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
-		kappa = g.Degeneracy()
-		if kappa < 1 {
-			kappa = 1
+		kappa = 0
+		if opts.ExactDegeneracy {
+			// The graph is already materialized here, so "exact" is free.
+			kappa = g.Degeneracy()
+			if kappa < 1 {
+				kappa = 1
+			}
 		}
 	}
 	return estimateStream(src, opts, kappa)
 }
 
 // EstimateFile runs the streaming estimator over an edge file (text edge
-// list or .bex) without ever materializing the graph, provided
-// opts.Degeneracy is set; if it is not set, one extra materializing pass
-// computes it (with a warning-sized memory cost).
+// list or .bex) without materializing the graph: when opts.Degeneracy is
+// zero, the degeneracy bound is approximated from the stream in O(n) words
+// and O(log n) extra passes (set opts.ExactDegeneracy for the old exact,
+// Θ(m)-memory computation).
+//
+// The file is streamed verbatim, as the arbitrary-order model prescribes:
+// duplicate lines count as parallel edges that inflate m, degrees, and the
+// estimate (self loops are ignored by every pass). Callers whose files may
+// contain duplicates and who want simple-graph semantics should deduplicate
+// first (cmd/graphgen -convert does); Estimate canonicalizes its in-memory
+// input and is the reference for the deduplicated answer.
 func EstimateFile(path string, opts Options) (Result, error) {
 	fs, err := stream.OpenAuto(path)
 	if err != nil {
@@ -198,13 +236,16 @@ func EstimateFile(path string, opts Options) (Result, error) {
 	defer fs.Close()
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
-		g, err := stream.Materialize(fs)
-		if err != nil {
-			return Result{}, err
-		}
-		kappa = g.Degeneracy()
-		if kappa < 1 {
-			kappa = 1
+		kappa = 0
+		if opts.ExactDegeneracy {
+			g, err := stream.Materialize(fs)
+			if err != nil {
+				return Result{}, err
+			}
+			kappa = g.Degeneracy()
+			if kappa < 1 {
+				kappa = 1
+			}
 		}
 	}
 	m, known := fs.Len()
@@ -250,14 +291,18 @@ func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) 
 		res, err = core.AutoEstimate(src, cfg)
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrNoEdges) {
+			return Result{}, ErrNoEdges
+		}
 		return Result{}, fmt.Errorf("triangle: %w", err)
 	}
 	return Result{
-		Estimate:        res.Estimate,
-		Passes:          res.Passes,
-		SpaceWords:      res.SpaceWords,
-		Edges:           res.EdgesInStream,
-		DegeneracyBound: kappa,
-		Aborted:         res.Aborted,
+		Estimate:         res.Estimate,
+		Passes:           res.Passes,
+		SpaceWords:       res.SpaceWords,
+		Edges:            res.EdgesInStream,
+		DegeneracyBound:  res.KappaBound,
+		DegeneracyApprox: res.KappaApprox,
+		Aborted:          res.Aborted,
 	}, nil
 }

@@ -200,13 +200,27 @@ func TestFileAPIs(t *testing.T) {
 		t.Fatalf("single-run relative error %.3f unexpectedly large", rel)
 	}
 
-	// Without a degeneracy bound the file API computes it.
+	// Without a degeneracy bound the file API approximates one from the
+	// stream: a certified upper bound within the peeling factor 2(1+ε) = 3
+	// of the true κ = 3, never a materializing pass.
 	res2, err := EstimateFile(path, Options{Seed: 2, TriangleGuess: 399})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.DegeneracyBound != 3 {
-		t.Fatalf("computed degeneracy bound = %d", res2.DegeneracyBound)
+	if !res2.DegeneracyApprox {
+		t.Fatal("expected the streamed degeneracy approximation")
+	}
+	if res2.DegeneracyBound < 3 || res2.DegeneracyBound > 9 {
+		t.Fatalf("approximate degeneracy bound = %d, want within [3, 9]", res2.DegeneracyBound)
+	}
+
+	// The exact escape hatch still reports the tight bound.
+	res3, err := EstimateFile(path, Options{Seed: 2, TriangleGuess: 399, ExactDegeneracy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.DegeneracyBound != 3 || res3.DegeneracyApprox {
+		t.Fatalf("exact degeneracy bound = %d (approx=%v), want 3 (exact)", res3.DegeneracyBound, res3.DegeneracyApprox)
 	}
 }
 
