@@ -1,7 +1,7 @@
 package degentri
 
 // Repository-level benchmark harness: one testing.B benchmark per reproduced
-// experiment (E1–E12, see DESIGN.md §4). Each benchmark executes the
+// experiment (E1–E13, see DESIGN.md §5). Each benchmark executes the
 // experiment end to end — workload generation, streaming estimation across
 // trials, table rendering — at smoke scale so that `go test -bench=.` stays
 // in the seconds range; run `go run ./cmd/experiments -scale full` for the
@@ -85,6 +85,11 @@ func BenchmarkE10OnePassComparison(b *testing.B) { runExperiment(b, "E10") }
 // BenchmarkE11CliqueExtension measures the streaming 4-clique estimator that
 // implements the paper's Conjecture 7.1 future-work direction.
 func BenchmarkE11CliqueExtension(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE13ScanFusion measures the pass-fusion scan scheduler: fused
+// trials and speculative geometric search on a file-backed stream, pinned
+// bit-identical to their unfused executions.
+func BenchmarkE13ScanFusion(b *testing.B) { runExperiment(b, "E13") }
 
 // BenchmarkE12DegeneracyApprox measures the streaming degeneracy
 // approximation that replaced the materializing κ fallback.

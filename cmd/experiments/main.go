@@ -1,5 +1,5 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E12, see
-// DESIGN.md §4) and prints them as markdown, optionally writing them to a
+// Command experiments regenerates the paper-reproduction tables (E1–E13, see
+// DESIGN.md §5) and prints them as markdown, optionally writing them to a
 // file for inclusion in EXPERIMENTS.md.
 //
 // Usage:

@@ -7,6 +7,7 @@
 //	trianglecount -input graph.txt                      # streaming estimate, auto parameters (κ approximated in-stream)
 //	trianglecount -input graph.bex -workers 8           # binary input, explicit shard workers
 //	trianglecount -input graph.txt -kappa 4 -guess 1e6  # streaming estimate, explicit bounds
+//	trianglecount -input graph.txt -trials 8            # mean ± stderr over keyed seeds, trials fused onto shared scans
 //	trianglecount -input graph.txt -exact-kappa         # exact κ bound (materializes the graph)
 //	trianglecount -input graph.txt -exact               # exact count (materializes the graph)
 //	trianglecount -input graph.txt -stats               # exact structural summary
@@ -32,6 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
 		workers = flag.Int("workers", 0, "shard workers per pass (0 = all cores); the estimate is identical at any setting")
+		trials  = flag.Int("trials", 1, "independent estimator runs over keyed seeds (trial 0 = -seed), fused onto shared physical scans; reports mean ± stderr")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -55,6 +57,29 @@ func main() {
 		t, err := triangle.ExactFile(*input)
 		exitOn(err)
 		fmt.Printf("exact triangle count: %d\n", t)
+	case *trials > 1:
+		res, err := triangle.EstimateFileTrials(*input, triangle.Options{
+			Epsilon:          *epsilon,
+			Degeneracy:       *kappa,
+			ExactDegeneracy:  *exactK,
+			TriangleGuess:    *guess,
+			Seed:             *seed,
+			SampleMultiplier: *mult,
+			Workers:          *workers,
+		}, *trials)
+		exitOn(err)
+		fmt.Printf("estimated triangles: %.1f ± %.1f (stderr over %d fused trials)\n", res.Mean, res.StdErr, res.Trials)
+		fmt.Printf("trial estimates:    ")
+		for _, e := range res.Estimates {
+			fmt.Printf(" %.1f", e)
+		}
+		fmt.Println()
+		fmt.Printf("edges:               %d\n", res.Edges)
+		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
+		fmt.Printf("cost:                passes=%d scans=%d space=%d words\n", res.Passes, res.Scans, res.SpaceWords)
+		if res.Aborted {
+			fmt.Println("warning: at least one trial hit the space cutoff; the mean is unreliable")
+		}
 	default:
 		res, err := triangle.EstimateFile(*input, triangle.Options{
 			Epsilon:          *epsilon,
@@ -66,21 +91,25 @@ func main() {
 			Workers:          *workers,
 		})
 		exitOn(err)
-		kappaSource := "supplied"
-		switch {
-		case res.DegeneracyApprox:
-			kappaSource = "streaming approx"
-		case *kappa <= 0:
-			kappaSource = "exact, materialized"
-		}
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
 		fmt.Printf("edges:               %d\n", res.Edges)
-		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource)
-		fmt.Printf("stream passes:       %d\n", res.Passes)
-		fmt.Printf("space (words):       %d\n", res.SpaceWords)
+		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
+		fmt.Printf("cost:                passes=%d scans=%d space=%d words\n", res.Passes, res.Scans, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: run aborted at the space cutoff; the estimate is unreliable")
 		}
+	}
+}
+
+// kappaSource labels where the degeneracy bound came from.
+func kappaSource(approx bool, kappaFlag int) string {
+	switch {
+	case approx:
+		return "streaming approx"
+	case kappaFlag <= 0:
+		return "exact, materialized"
+	default:
+		return "supplied"
 	}
 }
 

@@ -99,10 +99,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result reports the estimate and resource usage.
+// Result reports the estimate and resource usage. Passes is the logical
+// pass count (the paper's metric); Scans is the physical scan count, equal
+// to Passes for standalone runs and filled by the scheduler's owner for
+// fused runs (EstimateOn leaves it zero).
 type Result struct {
 	Estimate      float64
 	Passes        int
+	Scans         int
 	SpaceWords    int64
 	EdgesInStream int
 	SampledEdges  int
@@ -151,31 +155,55 @@ type instance struct {
 }
 
 // Estimate runs the k-clique estimator over the stream. It uses four passes
-// (plus a counting pass when the stream length is unknown).
+// (plus a counting pass when the stream length is unknown), each its own
+// physical scan: Result.Scans == Result.Passes.
 func Estimate(src stream.Stream, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	counter := stream.NewPassCounter(src)
+	m, known := counter.Len()
+	prelude := 0
+	if !known {
+		var err error
+		m, err = stream.CountEdges(counter)
+		if err != nil {
+			return Result{}, err
+		}
+		prelude = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := EstimateOn(passes.NewDirect(counter, m, workers), cfg)
+	res.Passes += prelude
+	res.Scans = res.Passes
+	return res, err
+}
+
+// EstimateOn runs the k-clique estimator's passes through the given executor
+// (the stream length and worker bound are the executor's). When the executor
+// is a scan-scheduler client the passes fuse with other pending clients;
+// results are bit-identical either way. Fused callers pass the scheduler's
+// group meter (and any sub-group meters) as tees so the run's retained words
+// count toward the concurrent peak.
+func EstimateOn(x passes.Executor, cfg Config, tees ...*stream.SharedMeter) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	rng := sampling.NewRNG(cfg.Seed)
 	meter := stream.NewSpaceMeter()
-	counter := stream.NewPassCounter(src)
+	for _, g := range tees {
+		meter.Tee(g)
+	}
 	res := Result{}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	m := x.M()
+	startPasses := x.Passes()
+	finishPasses := func() { res.Passes = x.Passes() - startPasses }
 
-	m, known := counter.Len()
-	if !known {
-		var err error
-		m, err = stream.CountEdges(counter)
-		if err != nil {
-			return res, err
-		}
-	}
 	res.EdgesInStream = m
 	if m == 0 {
-		res.Passes = counter.Passes()
 		return res, nil
 	}
 
@@ -183,8 +211,9 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	// position ranges.
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := passes.SampleUniformEdges(counter, rng, m, r, workers)
+	R, err := passes.SampleUniformEdges(x, rng, r)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	meter.Charge(int64(len(R)) * stream.WordsPerEdge)
@@ -197,7 +226,8 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if err := passes.CountDegrees(counter, m, workers, vertexDeg); err != nil {
+	if err := passes.CountDegrees(x, vertexDeg); err != nil {
+		finishPasses()
 		return res, err
 	}
 	edgeDegs := make([]int64, len(R))
@@ -213,7 +243,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		dR += int64(de)
 	}
 	if dR == 0 {
-		res.Passes = counter.Passes()
+		finishPasses()
 		res.SpaceWords = meter.Peak()
 		return res, nil
 	}
@@ -223,6 +253,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	res.Instances = l
 	cum, err := sampling.NewCumulativeSampler(edgeDegs)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	extra := cfg.K - 2
@@ -249,9 +280,10 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	// Pass 3: k-2 independent uniform neighbors of the light endpoint, via
 	// per-(instance, shard) sample banks merged in shard order.
 	banks, err := passes.SampleNeighborBanks(
-		counter, m, workers, lightGroups, l, extra,
+		x, lightGroups, l, extra,
 		cfg.Seed, rngKeyNeighbors, rngKeyNeighborsMerge)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	for i := range instances {
@@ -272,8 +304,9 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	needed := graph.NewEdgeIndex(needKeys)
 	meter.Charge(int64(needed.Keys()) * (stream.WordsPerEdge + stream.WordsPerScalar))
 	if needed.Keys() > 0 {
-		matched, err := passes.ClosureBits(counter, m, workers, needed, len(needInst), nil)
+		matched, err := passes.ClosureBits(x, needed, len(needInst), nil)
 		if err != nil {
+			finishPasses()
 			return res, err
 		}
 		for it, instIdx := range needInst {
@@ -300,7 +333,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 		factorial *= float64(i)
 	}
 	res.Estimate = float64(m) / float64(r) * float64(dR) * meanV / (factorial * pairs)
-	res.Passes = counter.Passes()
+	finishPasses()
 	res.SpaceWords = meter.Peak()
 	return res, nil
 }

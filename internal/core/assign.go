@@ -70,13 +70,12 @@ type triState struct {
 // shard), so both passes run on the sharded engine and the assignment — and
 // with it the estimate — is deterministic at any worker count.
 func (est *Estimator) assign(
-	counter stream.Stream,
+	x passes.Executor,
 	res *Result,
 	instances []instance,
 	degreeOf func(int) (int, bool),
-	m int,
-	workers int,
 ) (*assignmentTable, error) {
+	m := x.M()
 	cfg := est.cfg
 	if cfg.Rule == RuleNone {
 		return &assignmentTable{}, nil
@@ -192,7 +191,7 @@ func (est *Estimator) assign(
 
 		// ----- Pass 5: s uniform neighborhood samples per active slot. -----
 		banks, err := passes.SampleNeighborBanks(
-			counter, m, workers, lightGroups, len(slotIDs), s,
+			x, lightGroups, len(slotIDs), s,
 			cfg.Seed, rngKeyPass5, rngKeyPass5Merge)
 		if err != nil {
 			return table, err
@@ -243,7 +242,7 @@ func (est *Estimator) assign(
 			res.Aborted = true
 			return table, nil
 		}
-		matches, err := passes.ClosureCounts(counter, m, workers, closure, len(hits))
+		matches, err := passes.ClosureCounts(x, closure, len(hits))
 		if err != nil {
 			return table, err
 		}

@@ -3,8 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"degentri/internal/degen"
+	"degentri/internal/sched"
 	"degentri/internal/stream"
 )
 
@@ -21,38 +24,112 @@ var ErrNoEdges = errors.New("core: stream contains no edges")
 // sample sizes, so the total space is within a constant factor of the space
 // the final accepted run uses, and the number of passes is 6·O(log(mκ)).
 //
+// The search runs on the pass-fusion scan scheduler: probes are executed in
+// speculative batches of Config.SpecWidth (default 2), and because probe
+// seeds are keyed by attempt index, pass k of every probe in a batch shares
+// one physical scan — the accepted estimate is bit-identical to the
+// sequential search, the probes just cost fewer scans. Acceptance examines
+// probe results in sequential attempt order, so speculative probes past the
+// first accepted (or aborted) attempt contribute neither to Result.Passes
+// (the logical, paper metric) nor to the accepted values; their scans were
+// shared anyway and are reported in Result.Scans.
+//
 // When cfg.Kappa is 0 the degeneracy bound is first approximated from the
 // stream by the peeling estimator of internal/degen (once, shared by every
 // probe run of the search), and the result carries KappaApprox = true.
 //
 // The returned Result is the accepted run's result with Passes replaced by
-// the cumulative pass count of the whole search and SpaceWords raised to the
-// peeling pass's O(n) words when that phase dominated.
+// the cumulative logical pass count of the whole search, Scans by the
+// physical scans actually performed, and SpaceWords by the peak of
+// concurrently retained words across everything that was fused (which is at
+// least the accepted run's own peak).
 func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	counter := stream.NewPassCounter(src)
 	m, known := counter.Len()
+	prelude := 0
 	if !known {
 		var err error
 		m, err = stream.CountEdges(counter)
 		if err != nil {
 			return Result{}, err
 		}
+		prelude = 1
 	}
 	if m == 0 {
-		return Result{EdgesInStream: 0, Passes: counter.Passes()}, ErrNoEdges
+		return Result{EdgesInStream: 0, Passes: prelude, Scans: prelude}, ErrNoEdges
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sch := sched.New(counter, m, workers)
+	res, err := AutoEstimateOn(sch, cfg)
+	res.Passes += prelude
+	res.Scans = prelude + sch.Scans()
+	return res, err
+}
+
+// AutoEstimateOn is the geometric search running every pass through clients
+// of the given scheduler, so that several searches (for example independent
+// trials) fuse their probes' passes onto shared physical scans. The caller
+// owns physical-scan accounting: Result.Scans is left zero.
+func AutoEstimateOn(sch *sched.Scheduler, cfg Config) (Result, error) {
+	return autoEstimateOn(sch, cfg, nil)
+}
+
+// AutoEstimateFrom is AutoEstimateOn invoked from an existing scheduler
+// client (for example one trial of a fused trial group): the search parks
+// the handoff client only *after* registering its own first client, so at
+// no instant is the caller absent from the wave barrier — peers cannot slip
+// a wave past it and break the trials-fuse-in-lockstep scan bound. The
+// handoff client is left parked; the caller remains responsible for its
+// Done.
+func AutoEstimateFrom(c *sched.Client, cfg Config) (Result, error) {
+	return autoEstimateOn(c.Scheduler(), cfg, c)
+}
+
+func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Result, error) {
+	// release parks the handoff client; it must be called only once at least
+	// one search-owned client is registered (a just-registered client is
+	// born non-waiting, so it blocks waves until it submits). Early-error
+	// returns may skip it: the caller's Done covers those paths.
+	release := func() {
+		if handoff != nil {
+			handoff.Park()
+			handoff = nil
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := sch.M()
+	if m == 0 {
+		return Result{EdgesInStream: 0}, ErrNoEdges
+	}
+	logical := 0 // cumulative passes of the sequential (paper) search
 
 	// Resolve an unknown κ once, up front: every probe run of the search
 	// reuses the same bound, so the peeling passes are paid a single time.
+	// The peel runs as a scheduler client: its rounds fuse with whatever
+	// other clients of this scheduler have pending.
 	kappaApprox := false
 	var kappaSpace int64
 	if cfg.Kappa == 0 {
-		dres, err := degen.Estimate(counter, m, degen.Options{Workers: cfg.Workers})
+		c := sch.NewClient()
+		release()
+		// Hold the peel's words on the scheduler's group meter while the
+		// peel is live (concurrent peels of fused searches add up there);
+		// the search's own SpaceWords folds kappaSpace in via finish.
+		peelMeter := stream.NewSpaceMeter()
+		peelMeter.Tee(sch.Meter())
+		dres, err := degen.EstimateOn(c, degen.Options{Meter: peelMeter})
+		c.Done()
+		logical += dres.Passes
 		if err != nil {
-			return Result{EdgesInStream: m, Passes: counter.Passes()}, err
+			return Result{EdgesInStream: m, Passes: logical}, err
 		}
 		cfg.Kappa = dres.Kappa
 		if cfg.Kappa < 1 {
@@ -69,46 +146,117 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 				SpaceWords:    kappaSpace,
 				KappaBound:    cfg.Kappa,
 				KappaApprox:   true,
-				Passes:        counter.Passes(),
+				Passes:        logical,
 				Aborted:       true,
 			}, nil
 		}
 	}
+	// searchMeter tracks the concurrent peak of *this* search's probes; the
+	// scheduler's group meter additionally aggregates across everything fused
+	// onto the scheduler (for example other trials).
+	searchMeter := stream.NewSharedMeter()
 	finish := func(res Result) Result {
 		res.KappaBound = cfg.Kappa
 		res.KappaApprox = kappaApprox
+		if peak := searchMeter.Peak(); peak > res.SpaceWords {
+			res.SpaceWords = peak
+		}
 		if kappaSpace > res.SpaceWords {
 			res.SpaceWords = kappaSpace
 		}
-		res.Passes = counter.Passes()
+		res.Passes = logical
 		return res
 	}
 
-	guess := int64(2) * int64(m) * int64(cfg.Kappa)
-	if guess < 1 {
-		guess = 1
+	// runProbe executes one estimator run as a scheduler client; its meter is
+	// teed into the search and scheduler group meters so the concurrent peak
+	// is accounted at both granularities. The client must be registered
+	// before the probe goroutine starts (see runBatch) so a whole batch fuses
+	// from its first wave.
+	runProbe := func(c *sched.Client, runCfg Config) (Result, error) {
+		defer c.Done()
+		est := NewEstimator(runCfg)
+		est.TeeSpace(searchMeter)
+		est.TeeSpace(sch.Meter())
+		return est.RunOn(c)
 	}
+	// runBatch runs the probes of one speculative batch concurrently, fused.
+	runBatch := func(cfgs []Config) ([]Result, []error) {
+		clients := make([]*sched.Client, len(cfgs))
+		for i := range cfgs {
+			clients[i] = sch.NewClient()
+		}
+		release()
+		results := make([]Result, len(cfgs))
+		errs := make([]error, len(cfgs))
+		var wg sync.WaitGroup
+		for i := range cfgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = runProbe(clients[i], cfgs[i])
+			}(i)
+		}
+		wg.Wait()
+		return results, errs
+	}
+
+	width := cfg.SpecWidth
+	if width == 0 {
+		width = 2
+	}
+	guess0 := int64(2) * int64(m) * int64(cfg.Kappa)
+	if guess0 < 1 {
+		guess0 = 1
+	}
+	// guessAt reproduces the sequential halving: attempt i probes guess0
+	// halved i times, floored at 1.
+	guessAt := func(attempt int) int64 {
+		g := guess0
+		for i := 0; i < attempt && g > 1; i++ {
+			g /= 2
+		}
+		if g < 1 {
+			g = 1
+		}
+		return g
+	}
+
 	var last Result
-	attempt := 0
-	for {
-		runCfg := cfg
-		runCfg.TGuess = guess
-		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37
-		res, err := EstimateTriangles(counter, runCfg)
-		if err != nil {
-			return finish(res), fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
+	accepted := -1
+	for base := 0; accepted < 0; base += width {
+		cfgs := make([]Config, 0, width)
+		for i := base; i < base+width; i++ {
+			runCfg := cfg
+			runCfg.TGuess = guessAt(i)
+			runCfg.Seed = cfg.Seed + uint64(i)*0x9e37
+			cfgs = append(cfgs, runCfg)
+			if runCfg.TGuess == 1 {
+				break // guess 1 is always terminal; deeper probes are waste
+			}
 		}
-		attempt++
-		last = res
-		if res.Aborted {
-			return finish(last), nil
-		}
-		if res.Estimate >= float64(guess) || guess == 1 {
-			break
-		}
-		guess /= 2
-		if guess < 1 {
-			guess = 1
+		results, errs := runBatch(cfgs)
+		// Examine the batch in sequential attempt order: the first terminal
+		// event (error, abort, or acceptance) decides, exactly as if the
+		// probes had run one at a time; later probes in the batch were
+		// speculation and are discarded from the logical accounting.
+		for j := range cfgs {
+			attempt := base + j
+			guess := cfgs[j].TGuess
+			res, err := results[j], errs[j]
+			if err != nil {
+				logical += res.Passes
+				return finish(res), fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
+			}
+			logical += res.Passes
+			last = res
+			if res.Aborted {
+				return finish(last), nil
+			}
+			if res.Estimate >= float64(guess) || guess == 1 {
+				accepted = attempt
+				break
+			}
 		}
 	}
 
@@ -125,8 +273,9 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 		}
 		runCfg := cfg
 		runCfg.TGuess = confirmGuess
-		runCfg.Seed = cfg.Seed + uint64(attempt)*0x9e37 + 0x51ed
-		res, err := EstimateTriangles(counter, runCfg)
+		runCfg.Seed = cfg.Seed + uint64(accepted+1)*0x9e37 + 0x51ed
+		res, err := runProbe(sch.NewClient(), runCfg)
+		logical += res.Passes
 		if err != nil {
 			return finish(res), fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err)
 		}

@@ -99,6 +99,15 @@ type Config struct {
 	// Estimates are bit-identical for a fixed seed at any worker count (the
 	// shard grid and all RNG streams are independent of Workers).
 	Workers int
+	// SpecWidth bounds how many geometric-search probes AutoEstimate runs
+	// speculatively in one fused batch on the scan scheduler: pass k of every
+	// probe in a batch shares one physical scan, so a batch of w probes costs
+	// roughly the scans of the slowest probe instead of w×. 0 selects the
+	// default (2); 1 restores the strictly sequential search. The accepted
+	// estimate is identical at any width — probe seeds are keyed by attempt
+	// index and acceptance examines probes in sequential order — only Scans
+	// (and the concurrent space peak) change.
+	SpecWidth int
 }
 
 // DefaultConfig returns a practical configuration for the given degeneracy
@@ -136,6 +145,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.SpecWidth < 0 || c.SpecWidth > 16 {
+		return fmt.Errorf("core: SpecWidth must be in [0, 16], got %d", c.SpecWidth)
 	}
 	switch c.Rule {
 	case RuleLowestCount, RuleNone, RuleLowestDegree:

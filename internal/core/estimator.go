@@ -51,6 +51,12 @@ type instance struct {
 // engine: each pass is split over the fixed stream.NumShards grid, processed
 // by up to Config.Workers concurrent workers, and merged in shard order, so
 // the estimate for a fixed seed is deterministic at any worker count.
+//
+// Run executes each pass as its own physical scan. RunOn instead executes the
+// passes through a caller-supplied executor — when that executor is a scan
+// scheduler client (internal/sched), the run's passes share physical scans
+// with whatever other runs are fused onto the same scheduler, with
+// bit-identical results (all in-pass randomness is keyed, never positional).
 type Estimator struct {
 	cfg   Config
 	rng   *sampling.RNG
@@ -62,6 +68,12 @@ type Estimator struct {
 func NewEstimator(cfg Config) *Estimator {
 	return &Estimator{cfg: cfg, rng: sampling.NewRNG(cfg.Seed), meter: stream.NewSpaceMeter()}
 }
+
+// TeeSpace mirrors the estimator's space accounting into a shared group
+// meter, so fused runs report the peak of concurrently retained words.
+// Budget enforcement (Config.MaxSpaceWords) stays on the private meter —
+// fusion never changes whether an individual run aborts.
+func (est *Estimator) TeeSpace(g *stream.SharedMeter) { est.meter.Tee(g) }
 
 // EstimateTriangles is a convenience wrapper: NewEstimator(cfg).Run(src).
 func EstimateTriangles(src stream.Stream, cfg Config) (Result, error) {
@@ -78,33 +90,58 @@ func (est *Estimator) workers() int {
 
 // Run executes the estimator against the stream and returns the estimate and
 // resource accounting. The stream must replay the same edge order on every
-// pass (all stream.Stream implementations in this repository do).
+// pass (all stream.Stream implementations in this repository do). Every
+// logical pass is one physical scan: Result.Scans == Result.Passes.
 func (est *Estimator) Run(src stream.Stream) (Result, error) {
-	cfg := est.cfg
-	if err := cfg.Validate(); err != nil {
+	if err := est.cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	counter := stream.NewPassCounter(src)
-	res := Result{}
 
 	// Discover m. If the source knows its length this is free; otherwise it
 	// costs one counting pass (the paper assumes m is known when setting
 	// parameters). The counting pass also lets file-backed streams build
 	// their shard index, so the passes below can run with concurrent workers.
 	m, known := counter.Len()
+	prelude := 0
 	if !known {
 		var err error
 		m, err = stream.CountEdges(counter)
 		if err != nil {
-			return res, err
+			return Result{Passes: counter.Passes(), Scans: counter.Passes()}, err
 		}
+		prelude = 1
 	}
+	res, err := est.runOn(passes.NewDirect(counter, m, est.workers()))
+	res.Passes += prelude
+	res.Scans = res.Passes
+	return res, err
+}
+
+// RunOn executes the estimator's passes through the given executor, whose
+// stream must hold exactly x.M() edges. Result.Passes counts this run's
+// logical passes; Result.Scans is left zero because physical scans belong to
+// the executor's owner (for a Direct executor use Run, which fills it).
+func (est *Estimator) RunOn(x passes.Executor) (Result, error) {
+	if err := est.cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return est.runOn(x)
+}
+
+// runOn is the estimator body: every pass is declared against the executor,
+// which decides how the stream is read.
+func (est *Estimator) runOn(x passes.Executor) (Result, error) {
+	cfg := est.cfg
+	res := Result{}
+	m := x.M()
+	startPasses := x.Passes()
+	finishPasses := func() { res.Passes = x.Passes() - startPasses }
+
 	res.EdgesInStream = m
 	if m == 0 {
-		res.Passes = counter.Passes()
 		return res, ErrNoEdges
 	}
-	workers := est.workers()
 
 	// Resolve an unknown degeneracy bound with the streaming peeling
 	// approximation — O(n) words, O(log n) passes — instead of materializing
@@ -112,8 +149,13 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	// passes), so it contributes to the peak, not to the steady-state charge.
 	res.KappaBound = cfg.Kappa
 	if cfg.Kappa == 0 {
-		dres, derr := degen.Estimate(counter, m, degen.Options{Workers: workers})
+		// The peel holds its O(n) words on the estimator's meter while it
+		// runs (so fused runs' group meters see concurrent peels live); the
+		// charge below re-applies it for the budget check, identically to
+		// the peel-free accounting.
+		dres, derr := degen.EstimateOn(x, degen.Options{Meter: est.meter})
 		if derr != nil {
+			finishPasses()
 			return res, derr
 		}
 		kappa := dres.Kappa
@@ -127,7 +169,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 		est.meter.Charge(dres.SpaceWords)
 		if est.overBudget() {
 			res.Aborted = true
-			res.Passes = counter.Passes()
+			finishPasses()
 			res.SpaceWords = est.meter.Peak()
 			return res, nil
 		}
@@ -137,14 +179,15 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
-	R, err := passes.SampleUniformEdges(counter, est.rng, m, r, workers)
+	R, err := passes.SampleUniformEdges(x, est.rng, r)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	est.meter.Charge(int64(len(R)) * stream.WordsPerEdge)
 	if est.overBudget() {
 		res.Aborted = true
-		res.Passes = counter.Passes()
+		finishPasses()
 		res.SpaceWords = est.meter.Peak()
 		return res, nil
 	}
@@ -156,7 +199,8 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 	vertexDeg := graph.NewSortedCounter(endpoints)
 	est.meter.Charge(int64(vertexDeg.Len()) * stream.WordsPerCounter)
-	if err := passes.CountDegrees(counter, m, workers, vertexDeg); err != nil {
+	if err := passes.CountDegrees(x, vertexDeg); err != nil {
+		finishPasses()
 		return res, err
 	}
 
@@ -175,7 +219,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	res.DR = dR
 	if dR == 0 {
 		// No sampled edge has a neighbor beyond itself; the estimate is 0.
-		res.Passes = counter.Passes()
+		finishPasses()
 		res.SpaceWords = est.meter.Peak()
 		return res, nil
 	}
@@ -185,6 +229,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	res.Instances = l
 	cum, err := sampling.NewCumulativeSampler(edgeDegs)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	instances := make([]instance, l)
@@ -208,15 +253,16 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	est.meter.Charge(int64(l) * 6 * stream.WordsPerScalar)
 	if est.overBudget() {
 		res.Aborted = true
-		res.Passes = counter.Passes()
+		finishPasses()
 		res.SpaceWords = est.meter.Peak()
 		return res, nil
 	}
 
 	// ----- Pass 3: uniform neighbor of the light endpoint, per instance. -----
 	neighbors, err := passes.SampleNeighbors(
-		counter, m, workers, lightGroups, l, cfg.Seed, rngKeyPass3, rngKeyPass3Merge)
+		x, lightGroups, l, cfg.Seed, rngKeyPass3, rngKeyPass3Merge)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	for i := range instances {
@@ -255,8 +301,9 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	est.meter.Charge(int64(closure.Keys())*(stream.WordsPerEdge+stream.WordsPerScalar) +
 		int64(apexDeg.Len())*stream.WordsPerCounter)
 
-	closedBits, err := passes.ClosureBits(counter, m, workers, closure, len(closureInst), apexDeg)
+	closedBits, err := passes.ClosureBits(x, closure, len(closureInst), apexDeg)
 	if err != nil {
+		finishPasses()
 		return res, err
 	}
 	for it, instIdx := range closureInst {
@@ -286,12 +333,13 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	}
 
 	// ----- Assignment (Algorithm 3): passes 5 and 6 for the paper's rule. -----
-	assignments, aerr := est.assign(counter, &res, instances, degreeOf, m, workers)
+	assignments, aerr := est.assign(x, &res, instances, degreeOf)
 	if aerr != nil {
+		finishPasses()
 		return res, aerr
 	}
 	if res.Aborted {
-		res.Passes = counter.Passes()
+		finishPasses()
 		res.SpaceWords = est.meter.Peak()
 		return res, nil
 	}
@@ -322,7 +370,7 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 		estimate /= 3
 	}
 	res.Estimate = estimate
-	res.Passes = counter.Passes()
+	finishPasses()
 	res.SpaceWords = est.meter.Peak()
 	return res, nil
 }

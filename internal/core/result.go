@@ -7,8 +7,16 @@ import "fmt"
 type Result struct {
 	// Estimate is the estimated triangle count T̂.
 	Estimate float64
-	// Passes is the number of stream passes the run performed.
+	// Passes is the number of *logical* stream passes the run performed —
+	// the paper's pass metric, what the sequential algorithm needs.
 	Passes int
+	// Scans is the number of *physical* scans of the underlying stream that
+	// served those passes. Unfused runs have Scans == Passes; runs whose
+	// passes were fused onto a scan scheduler (AutoEstimate's geometric
+	// search, exp fused trials) perform fewer scans than passes, and
+	// speculative probe batches may scan work the sequential algorithm
+	// would have skipped — Scans reports the physical truth either way.
+	Scans int
 	// SpaceWords is the peak number of retained machine words, as charged to
 	// the estimator's SpaceMeter (sampled edges, counters, reservoirs, memo
 	// entries).
@@ -50,7 +58,7 @@ type Result struct {
 
 // String summarizes the result compactly.
 func (r Result) String() string {
-	return fmt.Sprintf("T̂=%.1f (passes=%d, space=%d words, r=%d, ℓ=%d, s=%d, found=%d, assigned=%d)",
-		r.Estimate, r.Passes, r.SpaceWords, r.SampledEdges, r.Instances, r.AssignmentSamples,
+	return fmt.Sprintf("T̂=%.1f (passes=%d, scans=%d, space=%d words, r=%d, ℓ=%d, s=%d, found=%d, assigned=%d)",
+		r.Estimate, r.Passes, r.Scans, r.SpaceWords, r.SampledEdges, r.Instances, r.AssignmentSamples,
 		r.TrianglesFound, r.TrianglesAssigned)
 }

@@ -34,11 +34,17 @@
 // deterministic at any worker count (pure counting, no randomness), so the
 // estimate honors the repository's (seed, passKey, mergeKey) invariance
 // contract trivially.
+//
+// The peel is expressed against passes.Executor (EstimateOn), so it can run
+// as a scan-scheduler client: when another client of the same scheduler has
+// a pass pending at the same time as a peel round — independent trials each
+// resolving κ, or a trial's peel next to another trial's core passes — the
+// two share one physical scan. Estimate is the standalone entry point that
+// wraps a stream in a Direct executor (one scan per pass, as before).
 package degen
 
 import (
 	"fmt"
-	"runtime"
 
 	"degentri/internal/graph"
 	"degentri/internal/passes"
@@ -58,8 +64,21 @@ type Options struct {
 	// Zero selects DefaultEpsilon.
 	Epsilon float64
 	// Workers bounds the concurrent shard workers of each pass
-	// (0 = GOMAXPROCS). The result is identical at any worker count.
+	// (0 = GOMAXPROCS). The result is identical at any worker count. Only
+	// Estimate consults it; EstimateOn inherits the executor's worker bound.
 	Workers int
+	// KnownVertices, when positive, is n = 1 + the largest vertex ID of the
+	// stream, already discovered by the caller (typically fused into its
+	// edge-counting scan via stream.CountEdgesAndMaxID); the peel then skips
+	// its own discovery pass. Zero means unknown: one MaxVertexID pass is
+	// spent discovering it.
+	KnownVertices int
+	// Meter, when non-nil, is charged with the peel's O(n) words for the
+	// duration of the peel (charged at state allocation, released on
+	// return). Fused callers tee this meter into the scheduler's group
+	// meter, so concurrent peels of fused runs show up in the group peak
+	// while they are actually live — not as a post-hoc lump.
+	Meter *stream.SpaceMeter
 }
 
 // Result reports the approximation together with its resource usage.
@@ -87,25 +106,42 @@ type Result struct {
 // Estimate approximates the degeneracy of a stream of m edges. Self-loops,
 // negative IDs, and duplicate edges are tolerated: loops and negatives are
 // ignored, duplicates inflate degrees and can only raise the bound (which
-// keeps it a valid upper bound for the underlying simple graph).
+// keeps it a valid upper bound for the underlying simple graph). Each pass
+// is its own physical scan; EstimateOn is the executor-based variant that a
+// scan scheduler can fuse with other pending passes.
 func Estimate(s stream.Stream, m int, opts Options) (Result, error) {
+	if m == 0 {
+		return Result{}, nil
+	}
+	return EstimateOn(passes.NewDirect(s, m, opts.Workers), opts)
+}
+
+// EstimateOn is Estimate running its passes through the given executor (the
+// stream length and worker bound are the executor's). When the executor is a
+// scan-scheduler client, every peel round fuses with whatever passes other
+// clients have pending — this is how a peel shares scans with an unrelated
+// client's work.
+func EstimateOn(x passes.Executor, opts Options) (Result, error) {
 	eps := opts.Epsilon
 	if eps <= 0 {
 		eps = DefaultEpsilon
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	res := Result{}
+	m := x.M()
 	if m == 0 {
 		return res, nil
 	}
 
-	maxID, err := passes.MaxVertexID(s, m, workers)
-	res.Passes++
-	if err != nil {
-		return res, fmt.Errorf("degen: vertex-ID pass: %w", err)
+	var maxID int
+	if opts.KnownVertices > 0 {
+		maxID = opts.KnownVertices - 1
+	} else {
+		var err error
+		maxID, err = passes.MaxVertexID(x)
+		res.Passes++
+		if err != nil {
+			return res, fmt.Errorf("degen: vertex-ID pass: %w", err)
+		}
 	}
 	if maxID < 0 {
 		// Every edge had negative endpoints; nothing peelable.
@@ -120,11 +156,15 @@ func Estimate(s stream.Stream, m int, opts Options) (Result, error) {
 	// One word per degree slot (int32 charged conservatively at a full word,
 	// matching the repository's per-counter accounting) plus the bitset words.
 	res.SpaceWords = int64(n) + int64((n+63)/64)
+	if opts.Meter != nil {
+		opts.Meter.Charge(res.SpaceWords)
+		defer opts.Meter.Release(res.SpaceWords)
+	}
 
 	aliveCount := n
 	for aliveCount > 0 {
 		clear(deg)
-		induced, err := passes.CountDegreesMasked(s, m, workers, alive, deg)
+		induced, err := passes.CountDegreesMasked(x, alive, deg)
 		res.Rounds++
 		res.Passes++
 		if err != nil {

@@ -139,8 +139,8 @@ func TestCoreRunnerAndDefaultConfig(t *testing.T) {
 
 func TestRegistryAndFind(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

@@ -10,7 +10,7 @@ import (
 )
 
 // Experiment is one reproducible experiment: an identifier matching DESIGN.md
-// §4, the paper artifact it validates, and a runner that produces result
+// §5, the paper artifact it validates, and a runner that produces result
 // tables at the requested scale.
 type Experiment struct {
 	ID    string
@@ -34,6 +34,7 @@ func Registry() []Experiment {
 		{"E10", "Equal-space comparison on max-degree-skewed graphs", "Table 1 one-pass rows (m∆/T, sparsification)", E10OnePassComparison},
 		{"E11", "Streaming k-clique counting extension", "Conjecture 7.1 (future work)", E11CliqueExtension},
 		{"E12", "Streaming degeneracy approximation: certified bounds in O(n) space", "Definition 1.1 / the 'κ is known' assumption", E12DegeneracyApprox},
+		{"E13", "Pass-fusion scan scheduler: one physical scan serves many logical passes", "the pass metric of Definition 1.1, engineered", E13ScanFusion},
 	}
 }
 

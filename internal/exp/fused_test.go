@@ -1,0 +1,166 @@
+package exp_test
+
+// Acceptance pins for the fused trial runner (ISSUE 5): R fused trials on a
+// file stream perform at most the physical scans of one trial, and every
+// per-trial Result is bit-identical to running that trial unfused.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"degentri/internal/core"
+	"degentri/internal/exp"
+	"degentri/internal/gen"
+	"degentri/internal/sched"
+	"degentri/internal/stream"
+)
+
+// trialCfg is the per-trial config used by both the fused and unfused runs:
+// fixed guess, keyed seed per trial (the CoreRunner convention).
+func trialCfg(base core.Config, trial int) core.Config {
+	cfg := base
+	cfg.Seed = base.Seed + uint64(trial)*7919
+	return cfg
+}
+
+// TestFusedTrialsScanBudgetOnFile is the acceptance criterion: R = 8 trials
+// over one .bex file, fused, must cost at most the physical scans of one
+// trial (its logical passes plus the shared counting scan is the generous
+// upper bound; the pinned expectation is exactly max over trials).
+func TestFusedTrialsScanBudgetOnFile(t *testing.T) {
+	g := gen.HolmeKim(6000, 5, 0.6, 41)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.bex")
+	if _, err := stream.WriteBexFile(path, stream.FromGraph(g)); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 8
+	base := core.DefaultConfig(0.1, g.Degeneracy(), g.TriangleCount())
+	base.CR, base.CL, base.CS = 16, 16, 8
+	base.Seed = 3
+
+	// Unfused references: each trial alone on its own stream.
+	unfused := make([]core.Result, trials)
+	for i := range unfused {
+		src, err := stream.OpenBex(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.EstimateTriangles(src, trialCfg(base, i))
+		src.Close()
+		if err != nil {
+			t.Fatalf("unfused trial %d: %v", i, err)
+		}
+		unfused[i] = res
+	}
+
+	src, err := stream.OpenBex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	m, known := src.Len()
+	if !known {
+		t.Fatal("bex length must be known")
+	}
+	ft, err := exp.RunTrialsFused(src, m, trials, 4, func(c *sched.Client, trial int) (core.Result, error) {
+		est := core.NewEstimator(trialCfg(base, trial))
+		est.TeeSpace(c.Scheduler().Meter())
+		return est.RunOn(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	maxPasses := 0
+	for i, res := range ft.Results {
+		want := unfused[i]
+		got := res
+		got.Scans = want.Scans // physical accounting is the fused run's, checked below
+		if got != want {
+			t.Errorf("trial %d: fused result diverges from unfused:\n  fused   %+v\n  unfused %+v", i, got, want)
+		}
+		if res.Passes > maxPasses {
+			maxPasses = res.Passes
+		}
+	}
+	// The pin: R fused trials ≤ the physical scans of one trial.
+	if ft.Scans > maxPasses {
+		t.Errorf("%d fused trials cost %d scans, want at most one trial's %d passes", trials, ft.Scans, maxPasses)
+	}
+	// And the concurrent space peak covers all live trials at once.
+	var soloPeak int64
+	for _, res := range unfused {
+		if res.SpaceWords > soloPeak {
+			soloPeak = res.SpaceWords
+		}
+	}
+	if ft.PeakSpaceWords <= soloPeak {
+		t.Errorf("group peak %d does not exceed the largest solo peak %d (concurrent states must add)",
+			ft.PeakSpaceWords, soloPeak)
+	}
+}
+
+// TestFusedTrialsWithUnknownKappaFuseThePeel runs fused trials whose configs
+// leave κ unresolved: each trial's degeneracy peel runs as scheduler passes
+// and fuses with its peers (and with their core passes when phases skew), so
+// the whole run still fits in one trial's scan budget. This is the
+// degen-fusion path of ISSUE 5 exercised end to end.
+func TestFusedTrialsWithUnknownKappaFuseThePeel(t *testing.T) {
+	g := gen.HolmeKim(5000, 4, 0.5, 13)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peel.txt")
+	if err := stream.WriteGraphFile(path, g, "fused peel"); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4
+	base := core.DefaultConfig(0.15, 0, 1) // Kappa 0: every trial resolves it in-stream
+	base.CR, base.CL, base.CS = 8, 8, 8
+	base.TGuess = int64(g.TriangleCount())
+	base.Seed = 11
+
+	unfused := make([]core.Result, trials)
+	for i := range unfused {
+		fs := stream.OpenFile(path)
+		res, err := core.EstimateTriangles(fs, trialCfg(base, i))
+		fs.Close()
+		if err != nil {
+			t.Fatalf("unfused trial %d: %v", i, err)
+		}
+		unfused[i] = res
+	}
+
+	fs := stream.OpenFile(path)
+	defer fs.Close()
+	m, err := stream.CountEdges(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := exp.RunTrialsFused(fs, m, trials, 2, func(c *sched.Client, trial int) (core.Result, error) {
+		est := core.NewEstimator(trialCfg(base, trial))
+		est.TeeSpace(c.Scheduler().Meter())
+		return est.RunOn(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPasses := 0
+	for i, res := range ft.Results {
+		want := unfused[i]
+		// The unfused run pays its own counting pass; the fused run shares
+		// the harness's single counting scan, so align that before the
+		// bit-identity check.
+		got := res
+		got.Passes++
+		got.Scans = want.Scans
+		if got != want {
+			t.Errorf("trial %d: fused (κ-peeling) result diverges:\n  fused   %+v\n  unfused %+v", i, got, want)
+		}
+		if res.Passes > maxPasses {
+			maxPasses = res.Passes
+		}
+	}
+	if ft.Scans > maxPasses {
+		t.Errorf("%d fused κ-peeling trials cost %d scans, want at most %d", trials, ft.Scans, maxPasses)
+	}
+}

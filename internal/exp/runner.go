@@ -7,6 +7,8 @@ import (
 
 	"degentri/internal/core"
 	"degentri/internal/sampling"
+	"degentri/internal/sched"
+	"degentri/internal/stream"
 )
 
 // TrialStats aggregates the outcomes of repeated runs of one estimator on one
@@ -37,6 +39,13 @@ type Runner func(trial int) (core.Result, error)
 // the aggregation is performed sequentially in trial order afterwards, so the
 // returned statistics are bit-identical to a sequential run regardless of
 // worker count.
+//
+// The comparison experiments deliberately vary the *stream order* per trial
+// (Workload.Stream(trial)), so their trials read different physical streams
+// and cannot share scans. Trials that replay one shared stream with varying
+// estimator seeds — repeated runs on a file, the trianglecount -trials flag —
+// should use RunTrialsFused instead, which fuses all trials' passes onto the
+// scan scheduler so R trials cost roughly the physical scans of one.
 func RunTrials(run Runner, trials int, truth float64) (TrialStats, error) {
 	return RunTrialsWorkers(run, trials, truth, 0)
 }
@@ -83,8 +92,14 @@ func RunTrialsWorkers(run Runner, trials int, truth float64, workers int) (Trial
 		wg.Wait()
 	}
 
-	// Sequential aggregation in trial order: floating-point sums and maxima
-	// accumulate exactly as in a sequential run.
+	return aggregateTrials(results, errs, truth)
+}
+
+// aggregateTrials folds per-trial results into TrialStats sequentially in
+// trial order: floating-point sums and maxima accumulate exactly as in a
+// sequential run, regardless of how the trials were executed.
+func aggregateTrials(results []core.Result, errs []error, truth float64) (TrialStats, error) {
+	trials := len(results)
 	stats := TrialStats{Trials: trials, Truth: truth}
 	var relErrs []float64
 	var estimates []float64
@@ -108,6 +123,80 @@ func RunTrialsWorkers(run Runner, trials int, truth float64, workers int) (Trial
 	stats.MeanSpace /= float64(trials)
 	stats.MeanEstimateRelErr = sampling.RelativeError(stats.MeanEstimate, truth)
 	return stats, nil
+}
+
+// FusedRunner runs one trial against a shared stream, executing every pass
+// through the given scheduler client. The client is registered before any
+// trial starts (which is what makes all trials fuse from their first wave);
+// a runner that delegates to its own scheduler clients — for example
+// core.AutoEstimateOn via c.Scheduler() — must first Park or Done the trial
+// client so it does not hold back its delegates' waves.
+type FusedRunner func(c *sched.Client, trial int) (core.Result, error)
+
+// FusedTrials is the outcome of a fused trial run: the per-trial results (in
+// trial order, bit-identical to running each trial alone) plus the physical
+// accounting of the fused execution.
+type FusedTrials struct {
+	// Results holds one core.Result per trial, in trial order.
+	Results []core.Result
+	// Scans is how many physical scans of the shared stream the whole fused
+	// run performed — with R similar trials in lockstep, roughly the passes
+	// of one trial rather than R× that.
+	Scans int
+	// PeakSpaceWords is the peak number of words retained *concurrently*
+	// across all fused trials (the scheduler's group meter), the honest
+	// space figure for the fused execution.
+	PeakSpaceWords int64
+}
+
+// Stats aggregates the fused results against a known ground truth, exactly
+// like RunTrials does for unfused trials.
+func (ft FusedTrials) Stats(truth float64) (TrialStats, error) {
+	return aggregateTrials(ft.Results, make([]error, len(ft.Results)), truth)
+}
+
+// RunTrialsFused executes trials whose passes all fuse onto one scan
+// scheduler over a single shared stream of exactly m edges: where RunTrials
+// gives each trial its own scans (a worker pool of independent streams),
+// here the trials are scheduler clients and every wave of the scheduler
+// carries the pending pass of every live trial. R lockstep trials therefore
+// cost about the physical scans of the slowest single trial. The per-trial
+// results are bit-identical to unfused runs of the same (stream, config):
+// all in-pass randomness is keyed, never positional.
+//
+// workers bounds the shard workers of each fused scan (<= 0: GOMAXPROCS).
+// The first trial error (in trial order) is returned, matching RunTrials.
+func RunTrialsFused(src stream.Stream, m, trials, workers int, run FusedRunner) (FusedTrials, error) {
+	if trials < 1 {
+		return FusedTrials{}, fmt.Errorf("exp: trials must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sch := sched.New(src, m, workers)
+	clients := make([]*sched.Client, trials)
+	for i := range clients {
+		clients[i] = sch.NewClient()
+	}
+	results := make([]core.Result, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer clients[i].Done()
+			results[i], errs[i] = run(clients[i], i)
+		}(i)
+	}
+	wg.Wait()
+	ft := FusedTrials{Results: results, Scans: sch.Scans(), PeakSpaceWords: sch.Meter().Peak()}
+	for i, err := range errs {
+		if err != nil {
+			return ft, fmt.Errorf("exp: trial %d: %w", i, err)
+		}
+	}
+	return ft, nil
 }
 
 // CoreRunner builds a Runner for the paper's six-pass estimator on a

@@ -1,6 +1,6 @@
 // Package exp is the experiment harness: it defines the workloads, runs the
 // estimators across trials, and renders the result tables that reproduce the
-// paper's claims (see DESIGN.md §4 for the experiment index E1–E10).
+// paper's claims (see DESIGN.md §5 for the experiment index).
 package exp
 
 import (

@@ -30,12 +30,26 @@
 // consumes the estimator's root RNG sequentially before the pass starts, so
 // it needs the RNG rather than keys.
 //
+// # Executors: logical passes vs. physical scans
+//
+// Every pass body in this package is expressed against the Executor
+// interface rather than against a concrete stream: the estimator declares
+// *what* the pass needs (a process/merge pair under the engine contract) and
+// the executor decides *how* the stream is read. Direct is the unfused
+// executor — each logical pass is its own physical scan, exactly the
+// pre-scheduler behavior — while internal/sched provides a fused executor
+// whose clients share one physical scan across every logical pass that is
+// pending at the same time. Because all randomness inside a pass is keyed by
+// (seed, passKey, instance, shard) and never by scan identity, a pass body
+// produces bit-identical results no matter which physical scan carried it.
+//
 // Adding a new estimator workload should mean writing pass bodies against
 // this package — picking fresh pass/merge keys — not re-implementing the
 // shard/merge/RNG-keying discipline.
 package passes
 
 import (
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -44,13 +58,64 @@ import (
 	"degentri/internal/stream"
 )
 
+// Executor runs logical sharded passes over one fixed stream of M() edges.
+// RunPass executes one logical pass under the sharded engine contract:
+// process(shard, batch) for every batch (batches never straddle shard
+// boundaries; different shards may be processed concurrently by up to
+// Workers() goroutines), then merge(shard) exactly once per shard in
+// ascending shard order from a single goroutine. Passes() reports how many
+// logical passes this executor has run — the paper's pass metric — which an
+// implementation may serve with fewer physical scans.
+type Executor interface {
+	M() int
+	Workers() int
+	RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error
+	Passes() int
+}
+
+// Direct is the unfused Executor: every logical pass is one physical
+// stream.ShardedForEachBatch scan of the underlying stream. It is what
+// standalone estimator entry points use; fused entry points substitute a
+// scheduler client (internal/sched) with the same interface.
+type Direct struct {
+	s       stream.Stream
+	m       int
+	workers int
+	passes  int
+}
+
+// NewDirect returns a Direct executor over a stream of exactly m edges.
+// workers <= 0 selects GOMAXPROCS.
+func NewDirect(s stream.Stream, m, workers int) *Direct {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Direct{s: s, m: m, workers: workers}
+}
+
+// M implements Executor.
+func (d *Direct) M() int { return d.m }
+
+// Workers implements Executor.
+func (d *Direct) Workers() int { return d.workers }
+
+// Passes implements Executor.
+func (d *Direct) Passes() int { return d.passes }
+
+// RunPass implements Executor: one logical pass, one physical scan.
+func (d *Direct) RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error {
+	d.passes++
+	_, err := stream.ShardedForEachBatch(d.s, d.m, d.workers, process, merge)
+	return err
+}
+
 // runPooled executes one sharded pass whose per-shard scratch state is pooled:
 // a shard's state is allocated (or recycled) on its first batch, every batch
 // of the shard is handed to process, and merge is invoked exactly once per
 // non-empty shard, in ascending shard order, before the state returns to the
 // pool. The engine bounds live states at workers+2, so the pool stays small.
 func runPooled[T any](
-	s stream.Stream, m, workers int,
+	x Executor,
 	alloc func() T, reset func(T),
 	process func(st T, shard int, batch []graph.Edge),
 	merge func(st T, shard int),
@@ -58,7 +123,7 @@ func runPooled[T any](
 	pool := stream.NewShardPool(alloc, reset)
 	var shards [stream.NumShards]T
 	var live [stream.NumShards]bool
-	_, err := stream.ShardedForEachBatch(s, m, workers,
+	return x.RunPass(
 		func(shard int, batch []graph.Edge) error {
 			if !live[shard] {
 				shards[shard] = pool.Get()
@@ -77,15 +142,14 @@ func runPooled[T any](
 			}
 			return nil
 		})
-	return err
 }
 
 // CountDegrees runs one sharded pass that increments deg for both endpoints
 // of every edge, using pooled Forks of the counter merged in shard order. The
 // pass is deterministic (no randomness) and only touches vertices that are
 // keys of deg.
-func CountDegrees(s stream.Stream, m, workers int, deg *graph.SortedCounter) error {
-	return runPooled(s, m, workers,
+func CountDegrees(x Executor, deg *graph.SortedCounter) error {
+	return runPooled(x,
 		deg.Fork, (*graph.SortedCounter).ResetCounts,
 		func(c *graph.SortedCounter, _ int, batch []graph.Edge) {
 			for _, e := range batch {
@@ -99,13 +163,13 @@ func CountDegrees(s stream.Stream, m, workers int, deg *graph.SortedCounter) err
 // MaxVertexID runs one sharded pass returning the largest vertex ID in the
 // stream, or -1 when the stream has no non-negative IDs. The pass is
 // deterministic (max is order-independent) and retains O(1) state per shard.
-func MaxVertexID(s stream.Stream, m, workers int) (int, error) {
+func MaxVertexID(x Executor) (int, error) {
 	var shardMax [stream.NumShards]int
 	for i := range shardMax {
 		shardMax[i] = -1
 	}
 	maxID := -1
-	_, err := stream.ShardedForEachBatch(s, m, workers,
+	err := x.RunPass(
 		func(shard int, batch []graph.Edge) error {
 			top := shardMax[shard]
 			for _, e := range batch {
@@ -142,10 +206,10 @@ func MaxVertexID(s stream.Stream, m, workers int) (int, error) {
 // instead of pooled forks: integer addition is commutative and associative, so
 // the result is bit-identical at any worker count without per-shard O(n)
 // scratch — the whole point of the pass is staying at O(n) words total.
-func CountDegreesMasked(s stream.Stream, m, workers int, alive *graph.Bitset, deg []int32) (int64, error) {
+func CountDegreesMasked(x Executor, alive *graph.Bitset, deg []int32) (int64, error) {
 	n := uint(len(deg))
 	var induced atomic.Int64
-	_, err := stream.ShardedForEachBatch(s, m, workers,
+	err := x.RunPass(
 		func(_ int, batch []graph.Edge) error {
 			local := int64(0)
 			for _, e := range batch {
@@ -185,7 +249,8 @@ type positionShard struct {
 // Because sorted positions give every shard a disjoint index range of the
 // sample array, the per-shard cursors need no merge state and the merge is
 // trivially deterministic. Sampled edges are normalized.
-func SampleUniformEdges(s stream.Stream, rng *sampling.RNG, m, r, workers int) ([]graph.Edge, error) {
+func SampleUniformEdges(x Executor, rng *sampling.RNG, r int) ([]graph.Edge, error) {
+	m := x.M()
 	positions := make([]int, r)
 	for i := range positions {
 		positions[i] = rng.Intn(m)
@@ -194,7 +259,7 @@ func SampleUniformEdges(s stream.Stream, rng *sampling.RNG, m, r, workers int) (
 	sample := make([]graph.Edge, r)
 
 	var shards [stream.NumShards]positionShard
-	_, err := stream.ShardedForEachBatch(s, m, workers,
+	err := x.RunPass(
 		func(shard int, batch []graph.Edge) error {
 			st := &shards[shard]
 			if !st.init {
@@ -235,7 +300,7 @@ type neighborShard struct {
 // returned samples independent of the worker count. It returns one merger per
 // instance (Has() == false when the vertex had no neighbors).
 func SampleNeighbors(
-	s stream.Stream, m, workers int,
+	x Executor,
 	groups *graph.VertexGroups, n int,
 	seed, passKey, mergeKey uint64,
 ) ([]sampling.Res1Merger, error) {
@@ -243,7 +308,7 @@ func SampleNeighbors(
 	for i := range merged {
 		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)))
 	}
-	err := runPooled(s, m, workers,
+	err := runPooled(x,
 		func() *neighborShard { return &neighborShard{res: make([]sampling.Res1, n)} },
 		func(st *neighborShard) {
 			for _, i := range st.touched {
@@ -291,7 +356,7 @@ type bankShard struct {
 // and (seed, mergeKey, instance) for the shard merges — with an s-sample bank
 // in place of the single reservoir.
 func SampleNeighborBanks(
-	s stream.Stream, m, workers int,
+	x Executor,
 	groups *graph.VertexGroups, n, k int,
 	seed, passKey, mergeKey uint64,
 ) ([]sampling.ResKMerger, error) {
@@ -299,7 +364,7 @@ func SampleNeighborBanks(
 	for i := range merged {
 		merged[i].Init(sampling.MixSeed(seed, mergeKey, uint64(i)), k)
 	}
-	err := runPooled(s, m, workers,
+	err := runPooled(x,
 		func() *bankShard { return &bankShard{res: make([]sampling.ResK, n)} },
 		func(st *bankShard) {
 			for _, i := range st.touched {
@@ -347,12 +412,12 @@ type closureShard struct {
 // pass). Hit bits are set in per-shard bitsets OR-merged in shard order — no
 // shared writes, no randomness.
 func ClosureBits(
-	s stream.Stream, m, workers int,
+	x Executor,
 	closure *graph.EdgeIndex, items int,
 	extraDeg *graph.SortedCounter,
 ) (*graph.Bitset, error) {
 	merged := graph.NewBitset(items)
-	err := runPooled(s, m, workers,
+	err := runPooled(x,
 		func() *closureShard {
 			st := &closureShard{bits: graph.NewBitset(items)}
 			if extraDeg != nil {
@@ -396,11 +461,11 @@ func ClosureBits(
 // order). For simple streams each count is 0 or 1, but duplicates in the
 // stream are tallied faithfully.
 func ClosureCounts(
-	s stream.Stream, m, workers int,
+	x Executor,
 	closure *graph.EdgeIndex, items int,
 ) ([]int, error) {
 	merged := make([]int, items)
-	err := runPooled(s, m, workers,
+	err := runPooled(x,
 		func() []int32 { return make([]int32, items) },
 		func(c []int32) { clear(c) },
 		func(c []int32, _ int, batch []graph.Edge) {

@@ -45,7 +45,7 @@ func TestCountDegrees(t *testing.T) {
 	}
 	for _, workers := range workerSweep {
 		deg := graph.NewSortedCounter(slices.Clone(keys))
-		if err := passes.CountDegrees(stream.FromGraph(g), m, workers, deg); err != nil {
+		if err := passes.CountDegrees(passes.NewDirect(stream.FromGraph(g), m, workers), deg); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		for _, k := range keys {
@@ -70,7 +70,7 @@ func TestMaxVertexID(t *testing.T) {
 		}
 	}
 	for _, workers := range workerSweep {
-		got, err := passes.MaxVertexID(stream.FromGraph(g), m, workers)
+		got, err := passes.MaxVertexID(passes.NewDirect(stream.FromGraph(g), m, workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -80,7 +80,7 @@ func TestMaxVertexID(t *testing.T) {
 	}
 	// Streams with no usable IDs report -1.
 	neg := []graph.Edge{{U: -1, V: -2}, {U: -7, V: -3}}
-	got, err := passes.MaxVertexID(stream.FromEdges(neg), len(neg), 1)
+	got, err := passes.MaxVertexID(passes.NewDirect(stream.FromEdges(neg), len(neg), 1))
 	if err != nil || got != -1 {
 		t.Fatalf("negative-only stream: %d, %v", got, err)
 	}
@@ -110,7 +110,7 @@ func TestCountDegreesMasked(t *testing.T) {
 	}
 	for _, workers := range workerSweep {
 		deg := make([]int32, n)
-		induced, err := passes.CountDegreesMasked(stream.FromGraph(g), m, workers, alive, deg)
+		induced, err := passes.CountDegreesMasked(passes.NewDirect(stream.FromGraph(g), m, workers), alive, deg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -128,7 +128,7 @@ func TestCountDegreesMasked(t *testing.T) {
 	small := graph.NewBitset(3)
 	small.SetAll()
 	deg := make([]int32, 3)
-	induced, err := passes.CountDegreesMasked(stream.FromEdges(dirty), len(dirty), 1, small, deg)
+	induced, err := passes.CountDegreesMasked(passes.NewDirect(stream.FromEdges(dirty), len(dirty), 1), small, deg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestSampleUniformEdges(t *testing.T) {
 
 	var base []graph.Edge
 	for _, workers := range workerSweep {
-		sample, err := passes.SampleUniformEdges(stream.FromGraph(g), sampling.NewRNG(77), m, r, workers)
+		sample, err := passes.SampleUniformEdges(passes.NewDirect(stream.FromGraph(g), m, workers), sampling.NewRNG(77), r)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -206,7 +206,7 @@ func TestSampleNeighbors(t *testing.T) {
 	var base []sampling.Res1Merger
 	for _, workers := range workerSweep {
 		merged, err := passes.SampleNeighbors(
-			stream.FromGraph(g), m, workers, groups, n, 12345, 3, 4)
+			passes.NewDirect(stream.FromGraph(g), m, workers), groups, n, 12345, 3, 4)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -254,7 +254,7 @@ func TestSampleNeighborBanks(t *testing.T) {
 	var base [][]int
 	for _, workers := range workerSweep {
 		merged, err := passes.SampleNeighborBanks(
-			stream.FromGraph(g), m, workers, groups, n, k, 999, 30, 31)
+			passes.NewDirect(stream.FromGraph(g), m, workers), groups, n, k, 999, 30, 31)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -318,7 +318,7 @@ func TestClosureBits(t *testing.T) {
 
 	for _, workers := range workerSweep {
 		extraDeg := graph.NewSortedCounter(slices.Clone(degKeys))
-		bits, err := passes.ClosureBits(stream.FromGraph(g), m, workers, idx, len(keys), extraDeg)
+		bits, err := passes.ClosureBits(passes.NewDirect(stream.FromGraph(g), m, workers), idx, len(keys), extraDeg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -361,7 +361,7 @@ func TestClosureCounts(t *testing.T) {
 	}
 
 	for _, workers := range workerSweep {
-		counts, err := passes.ClosureCounts(stream.FromEdges(slices.Clone(edges)), m, workers, idx, len(keys))
+		counts, err := passes.ClosureCounts(passes.NewDirect(stream.FromEdges(slices.Clone(edges)), m, workers), idx, len(keys))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -397,7 +397,7 @@ func TestNeighborSampleUniformity(t *testing.T) {
 	const n = 6000
 	instVertex := make([]int, n)
 	groups := graph.NewVertexGroups(slices.Clone(instVertex)) // all zeros: vertex 0
-	merged, err := passes.SampleNeighbors(stream.FromEdges(edges), m, 4, groups, n, 271828, 1, 2)
+	merged, err := passes.SampleNeighbors(passes.NewDirect(stream.FromEdges(edges), m, 4), groups, n, 271828, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,283 @@
+// Package sched is the pass-fusion scan scheduler: one physical scan of the
+// stream serves every logical pass that is pending at the moment the scan
+// starts. Bera–Seshadhri counts passes as a first-class cost, and on
+// file-backed streams wall-clock is dominated by physical scans — yet
+// logically-independent work (estimator instances of one geometric-search
+// step, independent trials of an experiment, degeneracy-peel rounds running
+// next to another client's passes) used to scan the stream once each.
+//
+// # Model
+//
+// A Scheduler owns one stream of exactly m edges. Work registers as Clients;
+// each Client submits logical passes through the passes.Executor interface
+// (RunPass blocks until the pass has been executed). Data dependencies are
+// expressed by program order: a client submits pass k+1 only after pass k
+// returned, so any two passes pending at once are — by construction —
+// dependency-free and safe to fuse. The scheduler launches a physical scan
+// ("wave") as soon as every live client is blocked in RunPass, executing all
+// pending requests against the batches of a single stream.ShardedForEachBatch
+// pass: per batch, each fused request's process runs in submission order;
+// per shard, each request's merge runs in ascending shard order, exactly as
+// if the request had scanned alone.
+//
+// # Why fusion cannot change results
+//
+// The repository's (seed, passKey, mergeKey) contract (internal/passes) keys
+// every random draw inside a pass by stable indices — seed, pass key,
+// instance, shard — never by scan identity or arrival time. A fused request
+// therefore sees the same per-shard edge sequence and draws the same values
+// as it would on a private scan: results are bit-identical, which the
+// fused-vs-unfused equivalence suites pin across worker counts and backends.
+//
+// # Accounting
+//
+// Scans() counts physical scans (waves); each Client counts its own logical
+// passes — the paper's metric — via Passes(). Meter() is the group space
+// meter fused runs tee their private SpaceMeters into, so the reported space
+// is the peak of *concurrently* retained words, not a sequential max.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// request is one submitted logical pass waiting for (or riding) a wave.
+type request struct {
+	process func(shard int, batch []graph.Edge) error
+	merge   func(shard int) error
+
+	// mu guards err: a request's process may fail from any shard worker.
+	// Once failed, the request is skipped for the rest of the wave while the
+	// other fused requests continue.
+	mu   sync.Mutex
+	err  error
+	done chan error
+}
+
+func (r *request) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *request) failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err != nil
+}
+
+// Scheduler fuses logical passes over one shared stream. Create one with New,
+// register Clients, and let each client run its passes; the zero value is not
+// usable. A Scheduler must own the stream exclusively: nothing else may Reset
+// or read it while any client is live.
+type Scheduler struct {
+	src     stream.Stream
+	m       int
+	workers int
+
+	mu      sync.Mutex
+	active  int        // registered clients that are neither parked nor done
+	pending []*request // submitted, not yet carried by a wave
+	running bool       // a wave is executing
+	scans   int
+	meter   *stream.SharedMeter
+}
+
+// New returns a scheduler over a stream of exactly m edges. workers bounds
+// the shard workers of each fused scan; <= 0 selects GOMAXPROCS, matching
+// the repository-wide convention (passes.NewDirect, Config.Workers).
+func New(src stream.Stream, m, workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{src: src, m: m, workers: workers, meter: stream.NewSharedMeter()}
+}
+
+// M returns the stream length the scheduler's scans run over.
+func (s *Scheduler) M() int { return s.m }
+
+// Workers returns the shard-worker bound of each fused scan.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Scans returns how many physical scans the scheduler has performed.
+func (s *Scheduler) Scans() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scans
+}
+
+// Meter returns the group space meter of this scheduler. Fused estimator
+// runs tee their private meters into it (stream.SpaceMeter.Tee), so its peak
+// is the words retained simultaneously across all fused runs.
+func (s *Scheduler) Meter() *stream.SharedMeter { return s.meter }
+
+// Client is one logical stream of passes. It implements passes.Executor
+// (structurally — see the compile-time assertion in the tests), so estimator
+// entry points that accept an executor run fused without knowing it.
+//
+// A Client is used by one goroutine at a time. Every registered client MUST
+// eventually call Done (or Park between submissions): a client that is
+// neither blocked in RunPass nor parked holds back every wave.
+type Client struct {
+	s      *Scheduler
+	passes int
+	parked bool
+	done   bool
+}
+
+// NewClient registers a new client. The client is born live: waves wait for
+// it until it submits a pass, parks, or finishes. Registering all clients of
+// a group before any of them starts submitting is what guarantees their
+// passes fuse from the first wave.
+func (s *Scheduler) NewClient() *Client {
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	return &Client{s: s}
+}
+
+// M implements passes.Executor.
+func (c *Client) M() int { return c.s.m }
+
+// Workers implements passes.Executor.
+func (c *Client) Workers() int { return c.s.workers }
+
+// Passes implements passes.Executor: the logical passes this client ran.
+func (c *Client) Passes() int { return c.passes }
+
+// Scheduler returns the scheduler this client belongs to.
+func (c *Client) Scheduler() *Scheduler { return c.s }
+
+// RunPass implements passes.Executor: it submits the pass and blocks until a
+// wave has carried it. The pass observes the engine contract exactly as if
+// it had the scan to itself.
+func (c *Client) RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error {
+	if c.done {
+		return fmt.Errorf("sched: RunPass on a finished client")
+	}
+	c.passes++
+	req := &request{process: process, merge: merge, done: make(chan error, 1)}
+	s := c.s
+	s.mu.Lock()
+	// The submitting client is blocked from here on: it no longer counts
+	// against the wave barrier. (A parked client was already out of the
+	// count; the wave that serves this request re-adds it before signaling.)
+	if c.parked {
+		c.parked = false
+	} else {
+		s.active--
+	}
+	s.pending = append(s.pending, req)
+	s.maybeLaunchLocked()
+	s.mu.Unlock()
+	return <-req.done
+}
+
+// Park withdraws the client from the wave barrier until its next RunPass.
+// Use it when a client hands control to other clients of the same scheduler
+// (for example a trial that delegates to the fused geometric search) and
+// would otherwise block their waves.
+func (c *Client) Park() {
+	if c.done || c.parked {
+		return
+	}
+	c.parked = true
+	s := c.s
+	s.mu.Lock()
+	s.active--
+	s.maybeLaunchLocked()
+	s.mu.Unlock()
+}
+
+// Done unregisters the client. Idempotent.
+func (c *Client) Done() {
+	if c.done {
+		return
+	}
+	c.done = true
+	s := c.s
+	s.mu.Lock()
+	if !c.parked {
+		s.active--
+	}
+	c.parked = false
+	s.maybeLaunchLocked()
+	s.mu.Unlock()
+}
+
+// maybeLaunchLocked fires a wave when no live client is still computing:
+// every pass that can be pending is pending, so the wave carries the maximal
+// dependency-free set. Callers hold s.mu.
+func (s *Scheduler) maybeLaunchLocked() {
+	if s.running || len(s.pending) == 0 || s.active > 0 {
+		return
+	}
+	batch := s.pending
+	s.pending = nil
+	s.running = true
+	s.scans++
+	go s.wave(batch)
+}
+
+// wave executes one fused physical scan and delivers results. Served clients
+// rejoin the barrier count *before* any of them is signaled, so a fast client
+// cannot slip a solo wave in while its fusion partners are still waking up —
+// this is what keeps lockstep groups fused wave after wave. The next wave (for
+// requests that accumulated from other clients while this one ran) launches
+// from the next RunPass/Park/Done call once the barrier drains again.
+func (s *Scheduler) wave(batch []*request) {
+	scanErr := s.scan(batch)
+	s.mu.Lock()
+	// Every request belongs to a distinct client (a client has at most one
+	// outstanding RunPass), and each of them is about to resume computing.
+	s.active += len(batch)
+	s.running = false
+	s.mu.Unlock()
+	for _, r := range batch {
+		r.mu.Lock()
+		err := r.err
+		r.mu.Unlock()
+		if err == nil {
+			err = scanErr
+		}
+		r.done <- err
+	}
+}
+
+// scan runs one physical pass fanning every batch to all fused requests (in
+// submission order) and every shard merge likewise. A request whose own
+// process/merge fails is dropped from the rest of the scan; an engine-level
+// error (stream read, length mismatch) fails the scan for every request.
+func (s *Scheduler) scan(batch []*request) error {
+	process := func(shard int, edges []graph.Edge) error {
+		for _, r := range batch {
+			if r.failed() {
+				continue
+			}
+			if err := r.process(shard, edges); err != nil {
+				r.fail(err)
+			}
+		}
+		return nil
+	}
+	merge := func(shard int) error {
+		for _, r := range batch {
+			if r.failed() {
+				continue
+			}
+			if err := r.merge(shard); err != nil {
+				r.fail(err)
+			}
+		}
+		return nil
+	}
+	_, err := stream.ShardedForEachBatch(s.src, s.m, s.workers, process, merge)
+	return err
+}

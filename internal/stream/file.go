@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"degentri/internal/graph"
 )
@@ -30,6 +31,45 @@ const (
 
 // errLineTooLong is wrapped with the file path by the stream that hits it.
 var errLineTooLong = errors.New("line longer than 16 MiB (not an edge list?)")
+
+// fileIndexKey identifies one on-disk edge list by path plus stat identity,
+// so a rewritten file misses the cache instead of serving a stale index.
+type fileIndexKey struct {
+	path  string
+	size  int64
+	mtime int64
+}
+
+// fileIndexEntry is a completed position→offset shard index. Entries are
+// immutable once stored: a FileStream whose index is done never mutates its
+// slices, so adopters share them without copying.
+type fileIndexEntry struct {
+	index      []int64
+	indexLines []int32
+	m          int
+}
+
+// fileIndexCache caches completed shard indexes per file across FileStream
+// instances of one process: repeated opens of the same edge list (trial
+// sweeps, geometric-search harnesses re-opening their input) get range
+// access — and with it parallel sharded passes — from their very first pass
+// instead of re-probing the index on a sequential scan each time.
+//
+// The cache restores the *physical* capability only. Logical knowledge is
+// deliberately not cached: Len() still reports unknown until the stream
+// completes a pass of its own, so a fresh run's pass accounting (the paper's
+// metric charges a counting pass for a length-unknown source) is identical
+// with or without the cache.
+var fileIndexCache sync.Map // fileIndexKey → *fileIndexEntry
+
+// statFileKey builds the cache key from the path's current stat.
+func statFileKey(path string) (fileIndexKey, bool) {
+	info, err := os.Stat(path)
+	if err != nil || !info.Mode().IsRegular() {
+		return fileIndexKey{}, false
+	}
+	return fileIndexKey{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()}, true
+}
 
 // lineReader yields newline-delimited lines straight out of a wide buffer,
 // tracking the absolute file offset of each line start (the raw material of
@@ -121,12 +161,38 @@ type FileStream struct {
 	indexDone  bool
 	indexing   bool // current pass is recording the index
 	broken     bool // current pass hit a parse/read error; don't trust pos at EOF
+
+	cacheKey   fileIndexKey // stat identity captured at open, keys the index cache
+	cacheKeyOK bool
 }
 
 // OpenFile returns a FileStream over the given edge-list file. The file is
 // not opened until the first Reset.
 func OpenFile(path string) *FileStream {
 	return &FileStream{path: path}
+}
+
+// adoptCachedIndex makes a previously recorded shard index of this file (any
+// FileStream of the process that completed a pass) available to this stream,
+// if the file's stat identity still matches.
+func (f *FileStream) adoptCachedIndex() {
+	if f.indexDone {
+		return
+	}
+	key, ok := statFileKey(f.path)
+	if !ok {
+		return
+	}
+	if v, hit := fileIndexCache.Load(key); hit {
+		e := v.(*fileIndexEntry)
+		f.index, f.indexLines = e.index, e.indexLines
+		f.indexDone = true
+		// m is adopted for RangeStream bounds checking only; mKnown stays
+		// false so logical pass accounting is unchanged (see fileIndexCache).
+		if !f.mKnown {
+			f.m = e.m
+		}
+	}
 }
 
 // Reset implements Stream by rewinding (or opening) the file.
@@ -137,6 +203,13 @@ func (f *FileStream) Reset() error {
 			return fmt.Errorf("stream: open %s: %w", f.path, err)
 		}
 		f.file = file
+		if info, serr := file.Stat(); serr == nil && info.Mode().IsRegular() {
+			f.cacheKey = fileIndexKey{path: f.path, size: info.Size(), mtime: info.ModTime().UnixNano()}
+			f.cacheKeyOK = true
+		} else {
+			f.cacheKeyOK = false
+		}
+		f.adoptCachedIndex()
 	} else if _, err := f.file.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("stream: rewind %s: %w", f.path, err)
 	}
@@ -181,6 +254,14 @@ func (f *FileStream) endOfPass() {
 	if f.indexing {
 		f.indexing = false
 		f.indexDone = true
+		// Publish the completed index for other FileStreams over this file.
+		// From here on this stream never mutates the slices (Reset only
+		// truncates while !indexDone), so sharing them is safe.
+		if f.cacheKeyOK {
+			fileIndexCache.Store(f.cacheKey, &fileIndexEntry{
+				index: f.index, indexLines: f.indexLines, m: f.m,
+			})
+		}
 	}
 }
 
@@ -348,12 +429,17 @@ func (f *FileStream) SetLen(m int) {
 	f.mKnown = true
 }
 
-// RangeStream implements RangeStreamer once an indexing pass has completed:
-// the sub-stream opens its own file handle, seeks to the indexed line nearest
-// lo, skips forward, and delivers exactly hi-lo edges. Before the first
-// complete pass it reports ok=false and sharded passes fall back to one
-// sequential scan (which itself builds the index).
+// RangeStream implements RangeStreamer once an indexing pass has completed —
+// by this stream, or by any earlier FileStream of the process over the same
+// file (the process-wide index cache): the sub-stream opens its own file
+// handle, seeks to the indexed line nearest lo, skips forward, and delivers
+// exactly hi-lo edges. Before any complete pass it reports ok=false and
+// sharded passes fall back to one sequential scan (which itself builds and
+// publishes the index).
 func (f *FileStream) RangeStream(lo, hi int) (Stream, bool) {
+	if !f.indexDone {
+		f.adoptCachedIndex()
+	}
 	if !f.indexDone || lo < 0 || hi < lo || hi > f.m {
 		return nil, false
 	}

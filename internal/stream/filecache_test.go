@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"degentri/internal/graph"
+)
+
+func writeEdgeFileAt(t *testing.T, path string, edges []graph.Edge) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(f, "%d %d\n", e.U, e.V)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileIndexCacheAcrossOpens pins the per-process index cache: once any
+// FileStream completes a pass over a file, a *fresh* FileStream over the
+// same path supports range access from the start — without re-probing — and
+// its ranges deliver exactly the same edges as a sequential pass.
+func TestFileIndexCacheAcrossOpens(t *testing.T) {
+	edges := make([]graph.Edge, 3*fileIndexGranularity+17)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	path := filepath.Join(t.TempDir(), "cached.txt")
+	writeEdgeFileAt(t, path, edges)
+
+	// First open: no range access until a pass completes.
+	first := OpenFile(path)
+	if err := first.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first.RangeStream(0, 0); ok {
+		t.Fatal("range access available before any pass completed")
+	}
+	if n, err := CountEdges(first); err != nil || n != len(edges) {
+		t.Fatalf("counting pass: %d, %v", n, err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second open: the cache makes range access available immediately…
+	second := OpenFile(path)
+	if _, ok := second.RangeStream(0, 0); !ok {
+		t.Fatal("fresh stream did not adopt the cached index")
+	}
+	// …but logical knowledge is NOT cached: a fresh run still discovers the
+	// length with its own pass, so pass accounting is unchanged.
+	if _, known := second.Len(); known {
+		t.Fatal("stream length must stay unknown until this stream completes a pass")
+	}
+	// Ranges read through the cached index match the file exactly.
+	for _, bounds := range [][2]int{{0, 5}, {fileIndexGranularity - 1, fileIndexGranularity + 3}, {len(edges) - 4, len(edges)}} {
+		sub, ok := second.RangeStream(bounds[0], bounds[1])
+		if !ok {
+			t.Fatalf("range [%d,%d) unavailable", bounds[0], bounds[1])
+		}
+		got, err := Collect(sub)
+		if c, isCloser := sub.(interface{ Close() error }); isCloser {
+			c.Close()
+		}
+		if err != nil {
+			t.Fatalf("range [%d,%d): %v", bounds[0], bounds[1], err)
+		}
+		if len(got) != bounds[1]-bounds[0] {
+			t.Fatalf("range [%d,%d): %d edges", bounds[0], bounds[1], len(got))
+		}
+		for i, e := range got {
+			if want := edges[bounds[0]+i]; e != want {
+				t.Fatalf("range [%d,%d) edge %d = %v, want %v", bounds[0], bounds[1], i, e, want)
+			}
+		}
+	}
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileIndexCacheInvalidatedByRewrite checks that replacing the file's
+// content invalidates the cached index (stat identity key) instead of
+// serving stale offsets.
+func TestFileIndexCacheInvalidatedByRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rewritten.txt")
+	edges := make([]graph.Edge, 2*fileIndexGranularity)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 2}
+	}
+	writeEdgeFileAt(t, path, edges)
+	first := OpenFile(path)
+	if n, err := CountEdges(first); err != nil || n != len(edges) {
+		t.Fatalf("counting pass: %d, %v", n, err)
+	}
+	first.Close()
+
+	// Rewrite with different content (different size → different stat key).
+	replacement := edges[:fileIndexGranularity+7]
+	writeEdgeFileAt(t, path, replacement)
+	second := OpenFile(path)
+	if _, ok := second.RangeStream(0, 0); ok {
+		t.Fatal("rewritten file must not adopt the stale index")
+	}
+	if n, err := CountEdges(second); err != nil || n != len(replacement) {
+		t.Fatalf("counting pass after rewrite: %d, %v", n, err)
+	}
+	second.Close()
+}

@@ -1,6 +1,9 @@
 package stream
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // SpaceMeter accounts for the words of working memory an estimator retains.
 // The paper's space bounds count machine words (edges, counters, samples), so
@@ -14,10 +17,25 @@ import "fmt"
 type SpaceMeter struct {
 	current int64
 	peak    int64
+	parents []*SharedMeter
 }
 
 // NewSpaceMeter returns a zeroed meter.
 func NewSpaceMeter() *SpaceMeter { return &SpaceMeter{} }
+
+// Tee mirrors every subsequent Charge/Release of this meter into the given
+// shared group meter (in addition to any group it already tees into; nil is
+// ignored). Fused estimator runs tee their private meters into the scan
+// scheduler's group meter — and, when they belong to a sub-group like one
+// geometric search among fused trials, into that sub-group's meter too — so
+// that the *concurrent* peak, the words retained simultaneously across all
+// logically-parallel runs, is accounted rather than each run's own
+// sequential peak.
+func (s *SpaceMeter) Tee(parent *SharedMeter) {
+	if parent != nil {
+		s.parents = append(s.parents, parent)
+	}
+}
 
 // Charge adds n words to the current usage. Negative charges panic; use
 // Release to return memory.
@@ -29,6 +47,9 @@ func (s *SpaceMeter) Charge(n int64) {
 	if s.current > s.peak {
 		s.peak = s.current
 	}
+	for _, p := range s.parents {
+		p.add(n)
+	}
 }
 
 // Release subtracts n words from the current usage. Releasing more than the
@@ -38,9 +59,13 @@ func (s *SpaceMeter) Release(n int64) {
 	if n < 0 {
 		panic("stream: negative release; use Charge")
 	}
-	s.current -= n
-	if s.current < 0 {
-		s.current = 0
+	released := n
+	if released > s.current {
+		released = s.current
+	}
+	s.current -= released
+	for _, p := range s.parents {
+		p.add(-released)
 	}
 }
 
@@ -59,6 +84,45 @@ func (s *SpaceMeter) Reset() {
 // String implements fmt.Stringer.
 func (s *SpaceMeter) String() string {
 	return fmt.Sprintf("SpaceMeter(current=%d, peak=%d words)", s.current, s.peak)
+}
+
+// SharedMeter is the concurrency-safe group meter behind SpaceMeter.Tee:
+// several estimator runs fused onto one physical scan each keep their own
+// SpaceMeter, and all of them mirror into one SharedMeter, whose peak is the
+// largest number of words the whole fused group retained at any instant.
+// This is the honest space figure for fusion — concurrently-live shard
+// states add up, they do not take a sequential max.
+type SharedMeter struct {
+	mu      sync.Mutex
+	current int64
+	peak    int64
+}
+
+// NewSharedMeter returns a zeroed group meter.
+func NewSharedMeter() *SharedMeter { return &SharedMeter{} }
+
+// add applies a (possibly negative) delta from a teed meter.
+func (g *SharedMeter) add(n int64) {
+	g.mu.Lock()
+	g.current += n
+	if g.current > g.peak {
+		g.peak = g.current
+	}
+	g.mu.Unlock()
+}
+
+// Peak returns the maximum words the group ever retained simultaneously.
+func (g *SharedMeter) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// Current returns the words currently charged across the group.
+func (g *SharedMeter) Current() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.current
 }
 
 // Cost constants used consistently by estimators when charging the meter.

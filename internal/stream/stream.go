@@ -116,6 +116,27 @@ func CountEdges(s Stream) (int, error) {
 	return ForEachBatch(s, func([]graph.Edge) error { return nil })
 }
 
+// CountEdgesAndMaxID makes one pass over the stream and returns both the
+// number of edges and the largest vertex ID seen (-1 when no edge has a
+// non-negative endpoint). Callers that need m *and* will immediately run a
+// degeneracy peel use this to fuse the peel's vertex-ID discovery pass into
+// the edge-counting scan they had to make anyway (degen.Options.KnownVertices).
+func CountEdgesAndMaxID(s Stream) (m, maxID int, err error) {
+	maxID = -1
+	m, err = ForEachBatch(s, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			if e.U > maxID {
+				maxID = e.U
+			}
+			if e.V > maxID {
+				maxID = e.V
+			}
+		}
+		return nil
+	})
+	return m, maxID, err
+}
+
 // Materialize makes one pass over the stream and builds the full graph. This
 // is not a streaming operation (it uses Θ(m) space) and exists for ground
 // truth computation, oracles, and tests.

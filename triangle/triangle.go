@@ -73,8 +73,15 @@ type Options struct {
 type Result struct {
 	// Estimate is the estimated number of triangles.
 	Estimate float64
-	// Passes is the number of passes over the stream.
+	// Passes is the number of logical passes over the stream — the paper's
+	// pass metric.
 	Passes int
+	// Scans is the number of physical scans of the underlying stream that
+	// served those passes. The geometric search fuses the passes of its
+	// speculative probes onto shared scans (and EstimateFileTrials fuses
+	// whole trials), so Scans is typically below Passes; for a plain
+	// fixed-guess run they are equal.
+	Scans int
 	// SpaceWords is the peak number of machine words the estimator retained.
 	SpaceWords int64
 	// Edges is the number of edges in the stream.
@@ -262,7 +269,11 @@ func EstimateFile(path string, opts Options) (Result, error) {
 	return estimateStream(fs, opts, kappa)
 }
 
-func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) {
+// coreConfig maps the facade options onto an estimator configuration. It is
+// the single source of the library defaults (ε = 0.1, CR/CL/CS = 8/8/4 ×
+// multiplier, seed 1): EstimateFileTrials shares it, which is what makes a
+// trial with seed s bit-identical to a plain run with the same seed.
+func coreConfig(opts Options, kappa int) core.Config {
 	eps := opts.Epsilon
 	if eps <= 0 || eps >= 1 {
 		eps = 0.1
@@ -275,12 +286,16 @@ func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) 
 	if mult <= 0 {
 		mult = 1
 	}
-
 	cfg := core.DefaultConfig(eps, kappa, 1)
 	cfg.CR, cfg.CL, cfg.CS = 8*mult, 8*mult, 4*mult
 	cfg.Seed = seed
 	cfg.MaxSpaceWords = opts.MaxSpaceWords
 	cfg.Workers = opts.Workers
+	return cfg
+}
+
+func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) {
+	cfg := coreConfig(opts, kappa)
 
 	var res core.Result
 	var err error
@@ -299,6 +314,7 @@ func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) 
 	return Result{
 		Estimate:         res.Estimate,
 		Passes:           res.Passes,
+		Scans:            res.Scans,
 		SpaceWords:       res.SpaceWords,
 		Edges:            res.EdgesInStream,
 		DegeneracyBound:  res.KappaBound,
