@@ -12,11 +12,17 @@
 //	graphgen -family chunglu -n 50000 -avgdeg 8 -beta 2.5 -out cl.txt
 //	graphgen -family book -pages 10000 -out book.txt
 //	graphgen -convert ba.txt -out ba.bex
+//
+// Exit codes: 0 success; 1 internal error; 2 usage error; 3 I/O error
+// (missing, unreadable, truncated, or corrupt input, or an unwritable
+// output).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 
@@ -120,6 +126,11 @@ func main() {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		var perr *fs.PathError
+		if errors.Is(err, stream.ErrTruncated) || errors.Is(err, stream.ErrCorruptHeader) ||
+			errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) || errors.As(err, &perr) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }

@@ -8,17 +8,38 @@
 //	trianglecount -input graph.bex -workers 8           # binary input, explicit shard workers
 //	trianglecount -input graph.txt -kappa 4 -guess 1e6  # streaming estimate, explicit bounds
 //	trianglecount -input graph.txt -trials 8            # mean ± stderr over keyed seeds, trials fused onto shared scans
+//	trianglecount -input graph.txt -timeout 30s         # abort (or degrade to a partial estimate) at the deadline
 //	trianglecount -input graph.txt -exact-kappa         # exact κ bound (materializes the graph)
 //	trianglecount -input graph.txt -exact               # exact count (materializes the graph)
 //	trianglecount -input graph.txt -stats               # exact structural summary
+//
+// SIGINT cancels a running estimate gracefully (same path as -timeout).
+//
+// Exit codes: 0 success; 1 internal error; 2 usage error; 3 I/O error
+// (missing, truncated, or corrupt input); 4 aborted (deadline, interrupt, or
+// space budget — including runs that printed a partial estimate).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"os/signal"
 
+	"degentri/internal/core"
+	"degentri/internal/faultio"
+	"degentri/internal/stream"
 	"degentri/triangle"
+)
+
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitIO       = 3
+	exitAborted  = 4
 )
 
 func main() {
@@ -34,12 +55,46 @@ func main() {
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
 		workers = flag.Int("workers", 0, "shard workers per pass (0 = all cores); the estimate is identical at any setting")
 		trials  = flag.Int("trials", 1, "independent estimator runs over keyed seeds (trial 0 = -seed), fused onto shared physical scans; reports mean ± stderr")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); a run interrupted mid-search reports its best estimate so far as partial")
+		retries = flag.Int("retries", 0, "transient I/O fault retry attempts per scan (0 = default 3, negative = disabled); retries never change the estimate")
+		inject  = flag.String("inject", "", "dev: fault-injection spec, e.g. seed=7,every=3,max=10,kinds=eio+reset (see internal/faultio)")
 	)
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "trianglecount: -input is required")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+
+	// One context serves the deadline and Ctrl-C: both cancel the active scan
+	// within a batch boundary and unwind with exit code 4.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := triangle.Options{
+		Epsilon:          *epsilon,
+		Degeneracy:       *kappa,
+		ExactDegeneracy:  *exactK,
+		TriangleGuess:    *guess,
+		Seed:             *seed,
+		SampleMultiplier: *mult,
+		Workers:          *workers,
+		RetryAttempts:    *retries,
+	}
+	if *inject != "" {
+		plan, err := faultio.ParsePlan(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trianglecount:", err)
+			os.Exit(exitUsage)
+		}
+		if plan.Enabled() {
+			opts.WrapStream = func(s stream.Stream) stream.Stream { return faultio.New(s, plan) }
+		}
 	}
 
 	switch {
@@ -58,15 +113,7 @@ func main() {
 		exitOn(err)
 		fmt.Printf("exact triangle count: %d\n", t)
 	case *trials > 1:
-		res, err := triangle.EstimateFileTrials(*input, triangle.Options{
-			Epsilon:          *epsilon,
-			Degeneracy:       *kappa,
-			ExactDegeneracy:  *exactK,
-			TriangleGuess:    *guess,
-			Seed:             *seed,
-			SampleMultiplier: *mult,
-			Workers:          *workers,
-		}, *trials)
+		res, err := triangle.EstimateFileTrialsCtx(ctx, *input, opts, *trials)
 		exitOn(err)
 		fmt.Printf("estimated triangles: %.1f ± %.1f (stderr over %d fused trials)\n", res.Mean, res.StdErr, res.Trials)
 		fmt.Printf("trial estimates:    ")
@@ -76,27 +123,29 @@ func main() {
 		fmt.Println()
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
-		fmt.Printf("cost:                passes=%d scans=%d space=%d words\n", res.Passes, res.Scans, res.SpaceWords)
+		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: at least one trial hit the space cutoff; the mean is unreliable")
+			os.Exit(exitAborted)
+		}
+		if res.Partial {
+			fmt.Println("warning: at least one trial was interrupted and reports its best estimate so far")
+			os.Exit(exitAborted)
 		}
 	default:
-		res, err := triangle.EstimateFile(*input, triangle.Options{
-			Epsilon:          *epsilon,
-			Degeneracy:       *kappa,
-			ExactDegeneracy:  *exactK,
-			TriangleGuess:    *guess,
-			Seed:             *seed,
-			SampleMultiplier: *mult,
-			Workers:          *workers,
-		})
+		res, err := triangle.EstimateFileCtx(ctx, *input, opts)
 		exitOn(err)
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
-		fmt.Printf("cost:                passes=%d scans=%d space=%d words\n", res.Passes, res.Scans, res.SpaceWords)
+		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: run aborted at the space cutoff; the estimate is unreliable")
+			os.Exit(exitAborted)
+		}
+		if res.Partial {
+			fmt.Println("warning: run interrupted; the estimate is the best accepted so far, not fully confirmed")
+			os.Exit(exitAborted)
 		}
 	}
 }
@@ -116,6 +165,22 @@ func kappaSource(approx bool, kappaFlag int) string {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trianglecount:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode classifies an error for scripts: aborts (deadline, cancellation)
+// are 4, input I/O problems are 3, everything else is an internal error.
+func exitCode(err error) int {
+	var perr *fs.PathError
+	switch {
+	case errors.Is(err, core.ErrDeadline), errors.Is(err, core.ErrAborted),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitAborted
+	case errors.Is(err, stream.ErrTruncated), errors.Is(err, stream.ErrCorruptHeader),
+		errors.Is(err, fs.ErrNotExist), errors.Is(err, fs.ErrPermission), errors.As(err, &perr):
+		return exitIO
+	default:
+		return exitInternal
 	}
 }

@@ -28,6 +28,7 @@
 package clique
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -158,15 +159,26 @@ type instance struct {
 // (plus a counting pass when the stream length is unknown), each its own
 // physical scan: Result.Scans == Result.Passes.
 func Estimate(src stream.Stream, cfg Config) (Result, error) {
+	return EstimateCtx(context.Background(), src, cfg, stream.RetryPolicy{})
+}
+
+// EstimateCtx is Estimate under a cancellation context and a transient-I/O
+// retry policy: a cancelled run aborts within one batch boundary, returning
+// the context error wrapped with the scan position; transient read failures
+// are healed under retry with bit-identical results.
+func EstimateCtx(ctx context.Context, src stream.Stream, cfg Config, retry stream.RetryPolicy) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	counter := stream.NewPassCounter(src)
 	m, known := counter.Len()
 	prelude := 0
 	if !known {
 		var err error
-		m, err = stream.CountEdges(counter)
+		m, _, err = stream.CountEdgesCtx(ctx, counter, retry)
 		if err != nil {
 			return Result{}, err
 		}
@@ -176,7 +188,7 @@ func Estimate(src stream.Stream, cfg Config) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := EstimateOn(passes.NewDirect(counter, m, workers), cfg)
+	res, err := EstimateOn(passes.NewDirectCtx(ctx, counter, m, workers, retry), cfg)
 	res.Passes += prelude
 	res.Scans = res.Passes
 	return res, err
@@ -208,7 +220,12 @@ func EstimateOn(x passes.Executor, cfg Config, tees ...*stream.SharedMeter) (Res
 	}
 
 	// Pass 1: uniform edge sample (with replacement), sharded over disjoint
-	// position ranges.
+	// position ranges. The passes poll the executor's context every batch;
+	// this check stops a cancelled run before it starts scanning at all.
+	if cerr := x.Context().Err(); cerr != nil {
+		finishPasses()
+		return res, fmt.Errorf("clique: run cancelled: %w", context.Cause(x.Context()))
+	}
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
 	R, err := passes.SampleUniformEdges(x, rng, r)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,17 +45,32 @@ var ErrNoEdges = errors.New("core: stream contains no edges")
 // concurrently retained words across everything that was fused (which is at
 // least the accepted run's own peak).
 func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
+	return AutoEstimateCtx(context.Background(), src, cfg)
+}
+
+// AutoEstimateCtx is AutoEstimate under a cancellation context. A deadline or
+// cancellation that fires mid-search degrades gracefully: if at least one
+// probe run completed, the search returns its result flagged Partial with a
+// nil error (the deadline analogue of the MaxSpaceWords abort path); if
+// nothing completed, the context error is returned wrapped as
+// ErrDeadline/ErrAborted with the scan position it interrupted. Transient
+// I/O errors are healed under Config.Retry and counted in Result.Retries.
+func AutoEstimateCtx(ctx context.Context, src stream.Stream, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	counter := stream.NewPassCounter(src)
 	m, known := counter.Len()
 	prelude := 0
+	preludeRetries := 0
 	if !known {
 		var err error
-		m, err = stream.CountEdges(counter)
+		m, preludeRetries, err = stream.CountEdgesCtx(ctx, counter, cfg.Retry)
 		if err != nil {
-			return Result{}, err
+			return Result{Retries: preludeRetries}, wrapAbort(err)
 		}
 		prelude = 1
 	}
@@ -65,11 +81,12 @@ func AutoEstimate(src stream.Stream, cfg Config) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sch := sched.New(counter, m, workers)
+	sch := sched.NewCtx(ctx, counter, m, workers, cfg.Retry)
 	res, err := AutoEstimateOn(sch, cfg)
 	res.Passes += prelude
 	res.Scans = prelude + sch.Scans()
-	return res, err
+	res.Retries = preludeRetries + sch.Retries()
+	return res, wrapAbort(err)
 }
 
 // AutoEstimateOn is the geometric search running every pass through clients
@@ -129,7 +146,7 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 		c.Done()
 		logical += dres.Passes
 		if err != nil {
-			return Result{EdgesInStream: m, Passes: logical}, err
+			return Result{EdgesInStream: m, Passes: logical}, wrapAbort(err)
 		}
 		cfg.Kappa = dres.Kappa
 		if cfg.Kappa < 1 {
@@ -222,7 +239,14 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 		return g
 	}
 
-	var last Result
+	// last is the most recent completed probe (drives acceptance and the
+	// confirmation run); lastGood is the most recent one whose estimate is
+	// actually usable (> 0) — the only kind worth degrading to when a
+	// deadline interrupts the search. A probe can legitimately complete with
+	// estimate 0 (none of its sampled wedges closed at a far-too-high guess),
+	// and "partial result: 0 triangles" would be worse than an error.
+	var last, lastGood Result
+	haveGood := false
 	accepted := -1
 	for base := 0; accepted < 0; base += width {
 		cfgs := make([]Config, 0, width)
@@ -246,10 +270,24 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 			res, err := results[j], errs[j]
 			if err != nil {
 				logical += res.Passes
-				return finish(res), fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err)
+				if ctxDone(err) && haveGood {
+					// Deadline (or cancellation) mid-search: degrade to the
+					// best completed probe instead of returning nothing —
+					// the deadline analogue of the MaxSpaceWords abort. Its
+					// certificate (samples, instances, d_R) is the probe's
+					// own; only the search didn't converge.
+					out := finish(lastGood)
+					out.Partial = true
+					return out, nil
+				}
+				return finish(res), wrapAbort(fmt.Errorf("core: auto-estimate at guess %d: %w", guess, err))
 			}
 			logical += res.Passes
 			last = res
+			if res.Estimate > 0 {
+				lastGood = res
+				haveGood = true
+			}
 			if res.Aborted {
 				return finish(last), nil
 			}
@@ -277,7 +315,15 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 		res, err := runProbe(sch.NewClient(), runCfg)
 		logical += res.Passes
 		if err != nil {
-			return finish(res), fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err)
+			if ctxDone(err) {
+				// The accepted probe stands on its own; losing only the
+				// bias-removing confirmation is a Partial outcome, not a
+				// failure. (last.Estimate > 0 here, so it is lastGood too.)
+				out := finish(last)
+				out.Partial = true
+				return out, nil
+			}
+			return finish(res), wrapAbort(fmt.Errorf("core: auto-estimate confirmation at guess %d: %w", confirmGuess, err))
 		}
 		if !res.Aborted {
 			last = res

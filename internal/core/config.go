@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"degentri/internal/stream"
 )
 
 // AssignmentRule selects how discovered triangles are attributed to edges.
@@ -108,6 +110,14 @@ type Config struct {
 	// index and acceptance examines probes in sequential order — only Scans
 	// (and the concurrent space peak) change.
 	SpecWidth int
+	// Retry is the transient-I/O retry policy of the run's physical scans.
+	// The zero value disables retry (errors propagate on first failure);
+	// stream.DefaultRetryPolicy() is the robust default the CLIs use. Retry
+	// never changes results — failed reads resume at the exact position they
+	// broke, and all in-pass randomness is keyed by (seed, passKey, instance,
+	// shard), never by attempt — it only changes whether a flaky read kills
+	// the run. Result.Retries reports the recoveries performed.
+	Retry stream.RetryPolicy
 }
 
 // DefaultConfig returns a practical configuration for the given degeneracy

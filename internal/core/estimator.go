@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 
 	"degentri/internal/degen"
@@ -93,8 +95,20 @@ func (est *Estimator) workers() int {
 // pass (all stream.Stream implementations in this repository do). Every
 // logical pass is one physical scan: Result.Scans == Result.Passes.
 func (est *Estimator) Run(src stream.Stream) (Result, error) {
+	return est.RunCtx(context.Background(), src)
+}
+
+// RunCtx is Run under a cancellation context: the run aborts within one
+// batch boundary of ctx firing, returning the context error wrapped with the
+// scan position and classified as ErrDeadline/ErrAborted. Transient I/O
+// errors are healed under Config.Retry, with recoveries counted in
+// Result.Retries.
+func (est *Estimator) RunCtx(ctx context.Context, src stream.Stream) (Result, error) {
 	if err := est.cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	counter := stream.NewPassCounter(src)
 
@@ -102,20 +116,24 @@ func (est *Estimator) Run(src stream.Stream) (Result, error) {
 	// costs one counting pass (the paper assumes m is known when setting
 	// parameters). The counting pass also lets file-backed streams build
 	// their shard index, so the passes below can run with concurrent workers.
+	// The count is state-free, so a transient failure re-runs the whole pass.
 	m, known := counter.Len()
 	prelude := 0
+	preludeRetries := 0
 	if !known {
 		var err error
-		m, err = stream.CountEdges(counter)
+		m, preludeRetries, err = stream.CountEdgesCtx(ctx, counter, est.cfg.Retry)
 		if err != nil {
-			return Result{Passes: counter.Passes(), Scans: counter.Passes()}, err
+			return Result{Passes: counter.Passes(), Scans: counter.Passes(), Retries: preludeRetries},
+				wrapAbort(err)
 		}
 		prelude = 1
 	}
-	res, err := est.runOn(passes.NewDirect(counter, m, est.workers()))
+	res, err := est.runOn(passes.NewDirectCtx(ctx, counter, m, est.workers(), est.cfg.Retry))
 	res.Passes += prelude
 	res.Scans = res.Passes
-	return res, err
+	res.Retries += preludeRetries
+	return res, wrapAbort(err)
 }
 
 // RunOn executes the estimator's passes through the given executor, whose
@@ -136,7 +154,20 @@ func (est *Estimator) runOn(x passes.Executor) (Result, error) {
 	res := Result{}
 	m := x.M()
 	startPasses := x.Passes()
-	finishPasses := func() { res.Passes = x.Passes() - startPasses }
+	startRetries := x.Retries()
+	finishPasses := func() {
+		res.Passes = x.Passes() - startPasses
+		res.Retries = x.Retries() - startRetries
+	}
+	// The scans themselves poll the context every batch; this catches a
+	// cancellation that lands in the between-pass bookkeeping, so a dead run
+	// never starts another scan.
+	checkCtx := func(stage string) error {
+		if cerr := x.Context().Err(); cerr != nil {
+			return fmt.Errorf("core: estimator cancelled before %s: %w", stage, context.Cause(x.Context()))
+		}
+		return nil
+	}
 
 	res.EdgesInStream = m
 	if m == 0 {
@@ -177,6 +208,10 @@ func (est *Estimator) runOn(x passes.Executor) (Result, error) {
 	}
 
 	// ----- Pass 1: uniform edge sample R (multiset, with replacement). -----
+	if cerr := checkCtx("pass 1 (edge sampling)"); cerr != nil {
+		finishPasses()
+		return res, cerr
+	}
 	r := cfg.sampleSizeR(m)
 	res.SampledEdges = r
 	R, err := passes.SampleUniformEdges(x, est.rng, r)
@@ -333,6 +368,10 @@ func (est *Estimator) runOn(x passes.Executor) (Result, error) {
 	}
 
 	// ----- Assignment (Algorithm 3): passes 5 and 6 for the paper's rule. -----
+	if cerr := checkCtx("assignment (passes 5-6)"); cerr != nil {
+		finishPasses()
+		return res, cerr
+	}
 	assignments, aerr := est.assign(x, &res, instances, degreeOf)
 	if aerr != nil {
 		finishPasses()

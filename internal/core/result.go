@@ -54,6 +54,19 @@ type Result struct {
 	// Aborted reports that the run hit Config.MaxSpaceWords and stopped
 	// early; Estimate is then meaningless.
 	Aborted bool
+	// Retries counts the transient-I/O recoveries the run's physical scans
+	// performed under Config.Retry. A healed scan is bit-identical to an
+	// undisturbed one, so retries never change Estimate — this is resource
+	// accounting, reported next to Passes/Scans. For fused runs the count is
+	// scheduler-wide: a recovery on a shared scan is visible to every rider.
+	Retries int
+	// Partial reports that the run's deadline expired (or it was cancelled)
+	// mid-search and Estimate is the best completed probe so far rather than
+	// the converged answer — the geometric search's deadline analogue of the
+	// MaxSpaceWords abort. The estimate is still a genuine estimator output
+	// with its certificate (SampledEdges, Instances, DR), just from a larger
+	// guess than the search would have settled on.
+	Partial bool
 }
 
 // String summarizes the result compactly.

@@ -44,6 +44,7 @@
 package degen
 
 import (
+	"context"
 	"fmt"
 
 	"degentri/internal/graph"
@@ -163,6 +164,11 @@ func EstimateOn(x passes.Executor, opts Options) (Result, error) {
 
 	aliveCount := n
 	for aliveCount > 0 {
+		// The pass below polls the context every batch; this check stops a
+		// cancelled peel from starting another round.
+		if cerr := x.Context().Err(); cerr != nil {
+			return res, fmt.Errorf("degen: peel cancelled before round %d: %w", res.Rounds+1, context.Cause(x.Context()))
+		}
 		clear(deg)
 		induced, err := passes.CountDegreesMasked(x, alive, deg)
 		res.Rounds++

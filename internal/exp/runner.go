@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -147,6 +148,11 @@ type FusedTrials struct {
 	// across all fused trials (the scheduler's group meter), the honest
 	// space figure for the fused execution.
 	PeakSpaceWords int64
+	// Retries is the number of transient-fault retries the scheduler's
+	// physical scans performed across the whole fused run (resource
+	// accounting only; retried scans resume positionally and never change a
+	// trial's result).
+	Retries int
 }
 
 // Stats aggregates the fused results against a known ground truth, exactly
@@ -167,13 +173,22 @@ func (ft FusedTrials) Stats(truth float64) (TrialStats, error) {
 // workers bounds the shard workers of each fused scan (<= 0: GOMAXPROCS).
 // The first trial error (in trial order) is returned, matching RunTrials.
 func RunTrialsFused(src stream.Stream, m, trials, workers int, run FusedRunner) (FusedTrials, error) {
+	return RunTrialsFusedCtx(context.Background(), src, m, trials, workers, stream.RetryPolicy{}, run)
+}
+
+// RunTrialsFusedCtx is RunTrialsFused under a cancellation context and a
+// transient-fault retry policy: ctx cancels every trial's next wave (each
+// trial returns its own wrapped context error), and transient scan failures
+// are healed under the policy with recoveries reported in
+// FusedTrials.Retries.
+func RunTrialsFusedCtx(ctx context.Context, src stream.Stream, m, trials, workers int, retry stream.RetryPolicy, run FusedRunner) (FusedTrials, error) {
 	if trials < 1 {
 		return FusedTrials{}, fmt.Errorf("exp: trials must be positive")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sch := sched.New(src, m, workers)
+	sch := sched.NewCtx(ctx, src, m, workers, retry)
 	clients := make([]*sched.Client, trials)
 	for i := range clients {
 		clients[i] = sch.NewClient()
@@ -190,7 +205,7 @@ func RunTrialsFused(src stream.Stream, m, trials, workers int, run FusedRunner) 
 		}(i)
 	}
 	wg.Wait()
-	ft := FusedTrials{Results: results, Scans: sch.Scans(), PeakSpaceWords: sch.Meter().Peak()}
+	ft := FusedTrials{Results: results, Scans: sch.Scans(), PeakSpaceWords: sch.Meter().Peak(), Retries: sch.Retries()}
 	for i, err := range errs {
 		if err != nil {
 			return ft, fmt.Errorf("exp: trial %d: %w", i, err)

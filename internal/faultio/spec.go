@@ -1,0 +1,128 @@
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"degentri/internal/stream"
+)
+
+// ParsePlan parses the compact fault-schedule spec the hidden
+// `trianglecount -inject` flag takes: comma-separated key=value pairs,
+//
+//	seed=7,every=3,max=10,kinds=eio+reset,stall=5ms,horizon=1000
+//
+// Keys: seed (uint64), every (int, required to inject anything), max (int64
+// fault cap), kinds (+-separated subset of eio|stall|trunc|reset|close),
+// stall (duration), horizon (int). Unknown keys are errors. An empty spec
+// yields a disabled plan.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("faultio: spec field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "every":
+			p.Every, err = strconv.Atoi(val)
+		case "max":
+			p.MaxFaults, err = strconv.ParseInt(val, 10, 64)
+		case "horizon":
+			p.Horizon, err = strconv.Atoi(val)
+		case "stall":
+			p.Stall, err = time.ParseDuration(val)
+		case "kinds":
+			for _, name := range strings.Split(val, "+") {
+				var k Kind
+				k, err = parseKind(name)
+				if err != nil {
+					break
+				}
+				p.Kinds = append(p.Kinds, k)
+			}
+		default:
+			return p, fmt.Errorf("faultio: unknown spec key %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faultio: spec field %q: %w", field, err)
+		}
+	}
+	return p, nil
+}
+
+func parseKind(name string) (Kind, error) {
+	switch strings.TrimSpace(name) {
+	case "eio":
+		return KindEIO, nil
+	case "stall":
+		return KindStall, nil
+	case "trunc":
+		return KindTruncate, nil
+	case "reset":
+		return KindFailReset, nil
+	case "close":
+		return KindFailClose, nil
+	default:
+		return kindNone, fmt.Errorf("unknown fault kind %q", name)
+	}
+}
+
+// ShortReadOpener returns a stream.Opener whose file handles report a clean
+// io.EOF once the absolute offset reaches limit — a silent short read below
+// the text parser, indistinguishable from end-of-file. This is the vector the
+// FileStream position-index poisoning guard exists for: the parser sees a
+// well-formed early EOF, and only the consumed-bytes-vs-size check can tell
+// the pass was incomplete.
+// A nil open means os.Open.
+func ShortReadOpener(open stream.Opener, limit int64) stream.Opener {
+	if open == nil {
+		open = func(path string) (io.ReadSeekCloser, error) { return os.Open(path) }
+	}
+	return func(path string) (io.ReadSeekCloser, error) {
+		f, err := open(path)
+		if err != nil {
+			return nil, err
+		}
+		return &cappedFile{f: f, limit: limit}, nil
+	}
+}
+
+type cappedFile struct {
+	f     io.ReadSeekCloser
+	limit int64
+}
+
+func (c *cappedFile) Read(p []byte) (int, error) {
+	off, err := c.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	if off >= c.limit {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > c.limit-off {
+		p = p[:c.limit-off]
+	}
+	return c.f.Read(p)
+}
+
+func (c *cappedFile) Seek(offset int64, whence int) (int64, error) {
+	return c.f.Seek(offset, whence)
+}
+
+func (c *cappedFile) Close() error { return c.f.Close() }

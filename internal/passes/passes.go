@@ -49,6 +49,7 @@
 package passes
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -66,11 +67,21 @@ import (
 // ascending shard order from a single goroutine. Passes() reports how many
 // logical passes this executor has run — the paper's pass metric — which an
 // implementation may serve with fewer physical scans.
+//
+// Context returns the executor's lifetime context: RunPass aborts within one
+// batch boundary once it is cancelled, returning the context's error wrapped
+// with the scan position, and estimators check it between passes so a
+// cancelled request never starts another scan. Retries reports how many
+// transient-I/O recoveries the executor's scans have performed so far — a
+// healed scan is bit-identical to an undisturbed one (see stream.RetryPolicy),
+// so retries change resource accounting, never results.
 type Executor interface {
 	M() int
 	Workers() int
 	RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error
 	Passes() int
+	Context() context.Context
+	Retries() int
 }
 
 // Direct is the unfused Executor: every logical pass is one physical
@@ -82,15 +93,28 @@ type Direct struct {
 	m       int
 	workers int
 	passes  int
+	ctx     context.Context
+	retry   stream.RetryPolicy
+	retries int
 }
 
 // NewDirect returns a Direct executor over a stream of exactly m edges.
-// workers <= 0 selects GOMAXPROCS.
+// workers <= 0 selects GOMAXPROCS. The executor is uncancellable and does not
+// retry; NewDirectCtx is the fault-tolerant constructor.
 func NewDirect(s stream.Stream, m, workers int) *Direct {
+	return NewDirectCtx(context.Background(), s, m, workers, stream.RetryPolicy{})
+}
+
+// NewDirectCtx returns a Direct executor whose scans abort when ctx is
+// cancelled and heal transient I/O errors under the given retry policy.
+func NewDirectCtx(ctx context.Context, s stream.Stream, m, workers int, retry stream.RetryPolicy) *Direct {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Direct{s: s, m: m, workers: workers}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Direct{s: s, m: m, workers: workers, ctx: ctx, retry: retry}
 }
 
 // M implements Executor.
@@ -102,10 +126,17 @@ func (d *Direct) Workers() int { return d.workers }
 // Passes implements Executor.
 func (d *Direct) Passes() int { return d.passes }
 
+// Context implements Executor.
+func (d *Direct) Context() context.Context { return d.ctx }
+
+// Retries implements Executor.
+func (d *Direct) Retries() int { return d.retries }
+
 // RunPass implements Executor: one logical pass, one physical scan.
 func (d *Direct) RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error {
 	d.passes++
-	_, err := stream.ShardedForEachBatch(d.s, d.m, d.workers, process, merge)
+	_, retries, err := stream.ShardedScan(d.ctx, d.s, d.m, d.workers, d.retry, process, merge)
+	d.retries += retries
 	return err
 }
 

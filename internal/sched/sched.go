@@ -38,6 +38,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +49,7 @@ import (
 
 // request is one submitted logical pass waiting for (or riding) a wave.
 type request struct {
+	ctx     context.Context // the submitting client's context
 	process func(shard int, batch []graph.Edge) error
 	merge   func(shard int) error
 
@@ -81,23 +83,40 @@ type Scheduler struct {
 	src     stream.Stream
 	m       int
 	workers int
+	ctx     context.Context    // cancels every wave; usually the request's root
+	retry   stream.RetryPolicy // transient-I/O healing of the physical scans
 
 	mu      sync.Mutex
 	active  int        // registered clients that are neither parked nor done
 	pending []*request // submitted, not yet carried by a wave
 	running bool       // a wave is executing
 	scans   int
+	retries int
 	meter   *stream.SharedMeter
 }
 
 // New returns a scheduler over a stream of exactly m edges. workers bounds
 // the shard workers of each fused scan; <= 0 selects GOMAXPROCS, matching
-// the repository-wide convention (passes.NewDirect, Config.Workers).
+// the repository-wide convention (passes.NewDirect, Config.Workers). The
+// scheduler is uncancellable and does not retry; NewCtx is the
+// fault-tolerant constructor.
 func New(src stream.Stream, m, workers int) *Scheduler {
+	return NewCtx(context.Background(), src, m, workers, stream.RetryPolicy{})
+}
+
+// NewCtx returns a scheduler whose waves abort when ctx is cancelled (failing
+// every fused request of the running wave — the scheduler's context is the
+// lifetime of the whole group; per-client cancellation goes through
+// NewClientCtx instead) and heal transient I/O errors under the given retry
+// policy.
+func NewCtx(ctx context.Context, src stream.Stream, m, workers int, retry stream.RetryPolicy) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Scheduler{src: src, m: m, workers: workers, meter: stream.NewSharedMeter()}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Scheduler{src: src, m: m, workers: workers, ctx: ctx, retry: retry, meter: stream.NewSharedMeter()}
 }
 
 // M returns the stream length the scheduler's scans run over.
@@ -111,6 +130,15 @@ func (s *Scheduler) Scans() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.scans
+}
+
+// Retries returns how many transient-I/O recoveries the scheduler's physical
+// scans have performed. Healed scans are bit-identical to undisturbed ones,
+// so this is resource accounting only.
+func (s *Scheduler) Retries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
 }
 
 // Meter returns the group space meter of this scheduler. Fused estimator
@@ -127,6 +155,7 @@ func (s *Scheduler) Meter() *stream.SharedMeter { return s.meter }
 // neither blocked in RunPass nor parked holds back every wave.
 type Client struct {
 	s      *Scheduler
+	ctx    context.Context
 	passes int
 	parked bool
 	done   bool
@@ -135,12 +164,25 @@ type Client struct {
 // NewClient registers a new client. The client is born live: waves wait for
 // it until it submits a pass, parks, or finishes. Registering all clients of
 // a group before any of them starts submitting is what guarantees their
-// passes fuse from the first wave.
+// passes fuse from the first wave. The client inherits the scheduler's
+// context; NewClientCtx attaches a narrower per-request one.
 func (s *Scheduler) NewClient() *Client {
+	return s.NewClientCtx(s.ctx)
+}
+
+// NewClientCtx registers a client with its own context — the per-request
+// cancellation scope of a fused group. Cancelling it fails only this client's
+// pending and future passes (the wave drops the request and carries on, the
+// same isolation as a process error); the other fused clients complete
+// bit-identically to their unfused runs.
+func (s *Scheduler) NewClientCtx(ctx context.Context) *Client {
+	if ctx == nil {
+		ctx = s.ctx
+	}
 	s.mu.Lock()
 	s.active++
 	s.mu.Unlock()
-	return &Client{s: s}
+	return &Client{s: s, ctx: ctx}
 }
 
 // M implements passes.Executor.
@@ -152,18 +194,31 @@ func (c *Client) Workers() int { return c.s.workers }
 // Passes implements passes.Executor: the logical passes this client ran.
 func (c *Client) Passes() int { return c.passes }
 
+// Context implements passes.Executor: the client's cancellation scope.
+func (c *Client) Context() context.Context { return c.ctx }
+
+// Retries implements passes.Executor. Physical scans are shared, so a
+// recovery on a fused scan is visible to every client riding it; the value is
+// the scheduler-wide count.
+func (c *Client) Retries() int { return c.s.Retries() }
+
 // Scheduler returns the scheduler this client belongs to.
 func (c *Client) Scheduler() *Scheduler { return c.s }
 
 // RunPass implements passes.Executor: it submits the pass and blocks until a
 // wave has carried it. The pass observes the engine contract exactly as if
-// it had the scan to itself.
+// it had the scan to itself. A client whose context is already cancelled
+// fails fast without joining a wave (the other clients' barrier is
+// unaffected — this client still counts live until Park/Done).
 func (c *Client) RunPass(process func(shard int, batch []graph.Edge) error, merge func(shard int) error) error {
 	if c.done {
 		return fmt.Errorf("sched: RunPass on a finished client")
 	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("sched: pass not started: %w", context.Cause(c.ctx))
+	}
 	c.passes++
-	req := &request{process: process, merge: merge, done: make(chan error, 1)}
+	req := &request{ctx: c.ctx, process: process, merge: merge, done: make(chan error, 1)}
 	s := c.s
 	s.mu.Lock()
 	// The submitting client is blocked from here on: it no longer counts
@@ -253,12 +308,29 @@ func (s *Scheduler) wave(batch []*request) {
 
 // scan runs one physical pass fanning every batch to all fused requests (in
 // submission order) and every shard merge likewise. A request whose own
-// process/merge fails is dropped from the rest of the scan; an engine-level
-// error (stream read, length mismatch) fails the scan for every request.
+// process/merge fails — or whose client context is cancelled mid-wave — is
+// dropped from the rest of the scan while the other fused requests continue;
+// an engine-level error (stream read, length mismatch, scheduler-context
+// cancellation) fails the scan for every request. Transient read errors are
+// healed inside the engine under the scheduler's retry policy, invisible to
+// the riding requests.
 func (s *Scheduler) scan(batch []*request) error {
+	// live skips the per-batch context poll for requests on the scheduler's
+	// own context: the engine already checks it every batch.
+	live := func(r *request, shard int) bool {
+		if r.failed() {
+			return false
+		}
+		if r.ctx != s.ctx && r.ctx.Err() != nil {
+			r.fail(fmt.Errorf("sched: pass abandoned at shard %d/%d: %w",
+				shard, stream.ActiveShards(s.m), context.Cause(r.ctx)))
+			return false
+		}
+		return true
+	}
 	process := func(shard int, edges []graph.Edge) error {
 		for _, r := range batch {
-			if r.failed() {
+			if !live(r, shard) {
 				continue
 			}
 			if err := r.process(shard, edges); err != nil {
@@ -269,7 +341,7 @@ func (s *Scheduler) scan(batch []*request) error {
 	}
 	merge := func(shard int) error {
 		for _, r := range batch {
-			if r.failed() {
+			if !live(r, shard) {
 				continue
 			}
 			if err := r.merge(shard); err != nil {
@@ -278,6 +350,11 @@ func (s *Scheduler) scan(batch []*request) error {
 		}
 		return nil
 	}
-	_, err := stream.ShardedForEachBatch(s.src, s.m, s.workers, process, merge)
+	_, retries, err := stream.ShardedScan(s.ctx, s.src, s.m, s.workers, s.retry, process, merge)
+	if retries > 0 {
+		s.mu.Lock()
+		s.retries += retries
+		s.mu.Unlock()
+	}
 	return err
 }

@@ -144,8 +144,8 @@ func OpenBex(path string) (*BexStream, error) {
 		want := int64(bexHeaderSize) + int64(m)*bexRecordSize
 		if info.Size() != want {
 			file.Close()
-			return nil, fmt.Errorf("stream: %s: header declares %d edges (%d bytes) but the file holds %d bytes",
-				path, m, want, info.Size())
+			return nil, fmt.Errorf("stream: %s: header declares %d edges (%d bytes) but the file holds %d bytes: %w",
+				path, m, want, info.Size(), ErrCorruptHeader)
 		}
 	}
 	return &BexStream{path: path, file: file, m: m}, nil
@@ -154,14 +154,14 @@ func OpenBex(path string) (*BexStream, error) {
 func readBexHeader(file *os.File, path string) (int, error) {
 	header := make([]byte, bexHeaderSize)
 	if _, err := io.ReadFull(file, header); err != nil {
-		return 0, fmt.Errorf("stream: %s: reading .bex header: %w", path, err)
+		return 0, fmt.Errorf("stream: %s: reading .bex header: %w (%w)", path, err, ErrCorruptHeader)
 	}
 	if string(header[:4]) != bexMagic {
-		return 0, fmt.Errorf("stream: %s: not a .bex file (bad magic %q)", path, header[:4])
+		return 0, fmt.Errorf("stream: %s: not a .bex file (bad magic %q): %w", path, header[:4], ErrCorruptHeader)
 	}
 	count := binary.LittleEndian.Uint64(header[8:])
 	if count > 1<<56 {
-		return 0, fmt.Errorf("stream: %s: implausible .bex edge count %d", path, count)
+		return 0, fmt.Errorf("stream: %s: implausible .bex edge count %d: %w", path, count, ErrCorruptHeader)
 	}
 	return int(count), nil
 }
@@ -193,7 +193,7 @@ func (b *BexStream) Next() (graph.Edge, error) {
 	}
 	var rec [bexRecordSize]byte
 	if _, err := io.ReadFull(b.file, rec[:]); err != nil {
-		return graph.Edge{}, fmt.Errorf("stream: %s truncated at edge %d: %w", b.path, b.pos, err)
+		return graph.Edge{}, fmt.Errorf("stream: %s truncated at edge %d: %w (%w)", b.path, b.pos, err, ErrTruncated)
 	}
 	b.pos++
 	return decodeBexRecord(rec[:]), nil
@@ -222,7 +222,7 @@ func (b *BexStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 	}
 	raw := b.raw[:want*bexRecordSize]
 	if _, err := io.ReadFull(b.file, raw); err != nil {
-		return nil, fmt.Errorf("stream: %s truncated at edge %d: %w", b.path, b.pos, err)
+		return nil, fmt.Errorf("stream: %s truncated at edge %d: %w (%w)", b.path, b.pos, err, ErrTruncated)
 	}
 	for i := 0; i < want; i++ {
 		buf[i] = decodeBexRecord(raw[i*bexRecordSize:])
@@ -302,7 +302,7 @@ func (r *bexRange) Next() (graph.Edge, error) {
 	}
 	var rec [bexRecordSize]byte
 	if _, err := io.ReadFull(r.file, rec[:]); err != nil {
-		return graph.Edge{}, fmt.Errorf("stream: %s truncated at edge %d: %w", r.path, r.pos, err)
+		return graph.Edge{}, fmt.Errorf("stream: %s truncated at edge %d: %w (%w)", r.path, r.pos, err, ErrTruncated)
 	}
 	r.pos++
 	return decodeBexRecord(rec[:]), nil
@@ -331,7 +331,7 @@ func (r *bexRange) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 	}
 	raw := r.raw[:want*bexRecordSize]
 	if _, err := io.ReadFull(r.file, raw); err != nil {
-		return nil, fmt.Errorf("stream: %s truncated at edge %d: %w", r.path, r.pos, err)
+		return nil, fmt.Errorf("stream: %s truncated at edge %d: %w (%w)", r.path, r.pos, err, ErrTruncated)
 	}
 	for i := 0; i < want; i++ {
 		buf[i] = decodeBexRecord(raw[i*bexRecordSize:])

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"degentri/internal/graph"
+)
+
+// cappedOpener opens files through handles that report a clean io.EOF once
+// the absolute offset reaches limit — a silent short read below the text
+// parser, indistinguishable from a well-formed end of file.
+func cappedOpener(limit int64) Opener {
+	return func(path string) (io.ReadSeekCloser, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return &cappedHandle{f: f, limit: limit}, nil
+	}
+}
+
+type cappedHandle struct {
+	f     *os.File
+	limit int64
+}
+
+func (c *cappedHandle) Read(p []byte) (int, error) {
+	off, err := c.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	if off >= c.limit {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > c.limit-off {
+		p = p[:c.limit-off]
+	}
+	return c.f.Read(p)
+}
+
+func (c *cappedHandle) Seek(offset int64, whence int) (int64, error) {
+	return c.f.Seek(offset, whence)
+}
+
+func (c *cappedHandle) Close() error { return c.f.Close() }
+
+// TestShortReadDoesNotPoisonIndexCache pins the cache-publication guard: a
+// pass whose reader silently drops the file's tail (clean EOF at a line
+// boundary — the parser cannot tell) must fail with a transient truncation
+// error and must NOT publish its partial position→offset index under the
+// file's cache key, or every later open of the healthy file would shard it
+// through wrong offsets.
+func TestShortReadDoesNotPoisonIndexCache(t *testing.T) {
+	edges := make([]graph.Edge, 2*fileIndexGranularity+5)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	path := filepath.Join(t.TempDir(), "short.txt")
+	writeEdgeFileAt(t, path, edges)
+
+	// Cut at the line boundary after granularity+3 edges, so the capped pass
+	// spans at least one full index stride (it has offsets it would love to
+	// publish) and ends looking exactly like a complete file.
+	cut := fileIndexGranularity + 3
+	var limit int64
+	for _, e := range edges[:cut] {
+		limit += int64(len(fmt.Sprintf("%d %d\n", e.U, e.V)))
+	}
+
+	short := OpenFileWith(path, cappedOpener(limit))
+	n, err := CountEdges(short)
+	if err == nil {
+		t.Fatalf("capped pass returned no error (%d edges)", n)
+	}
+	if !IsTransient(err) || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("capped pass error = %v, want transient ErrTruncated", err)
+	}
+	if _, ok := short.RangeStream(0, 0); ok {
+		t.Fatal("capped stream kept range access from an incomplete pass")
+	}
+	if err := short.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open of the (healthy) file must not find a cached index…
+	second := OpenFile(path)
+	if _, ok := second.RangeStream(0, 0); ok {
+		t.Fatal("incomplete pass published an index under the file's cache key")
+	}
+	// …and a clean pass over it sees every edge.
+	if n, err := CountEdges(second); err != nil || n != len(edges) {
+		t.Fatalf("clean pass after capped pass: %d, %v (want %d, nil)", n, err, len(edges))
+	}
+	sub, ok := second.RangeStream(cut-2, cut+2)
+	if !ok {
+		t.Fatal("range access unavailable after a clean pass")
+	}
+	got, err := Collect(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got {
+		if want := edges[cut-2+i]; e != want {
+			t.Fatalf("range edge %d = %v, want %v", i, e, want)
+		}
+	}
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransientReadRetryHealsCountingPass pins whole-pass retry at the read
+// layer: a counting pass whose first attempts die on injected transient
+// errors succeeds once the opener heals, and reports the retries it spent.
+func TestTransientReadRetryHealsCountingPass(t *testing.T) {
+	edges := make([]graph.Edge, 2000)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i % 101, V: 101 + i%97}
+	}
+	path := filepath.Join(t.TempDir(), "flaky.txt")
+	writeEdgeFileAt(t, path, edges)
+
+	// The handle fails transiently 512 bytes into each of the first two
+	// attempts, then behaves; whole-pass retry re-reads from the start.
+	flaky := func(path string) (io.ReadSeekCloser, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return &failingHandle{f: f, after: 512, failures: 2}, nil
+	}
+	fs := OpenFileWith(path, flaky)
+	defer fs.Close()
+	n, retries, err := CountEdgesCtx(context.Background(), fs, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("counting pass did not heal: %v", err)
+	}
+	if n != len(edges) {
+		t.Fatalf("healed pass counted %d edges, want %d", n, len(edges))
+	}
+	if retries != 2 {
+		t.Fatalf("healed pass reported %d retries, want 2", retries)
+	}
+}
+
+// failingHandle fails transiently once `after` bytes have been read, a
+// bounded number of times; rewinding to the start begins a fresh attempt.
+type failingHandle struct {
+	f        *os.File
+	after    int64
+	read     int64
+	failures int
+}
+
+func (h *failingHandle) Read(p []byte) (int, error) {
+	if h.failures > 0 {
+		if h.read >= h.after {
+			h.failures--
+			return 0, MarkTransient(errors.New("injected handle failure"))
+		}
+		if int64(len(p)) > h.after-h.read {
+			p = p[:h.after-h.read]
+		}
+	}
+	n, err := h.f.Read(p)
+	h.read += int64(n)
+	return n, err
+}
+
+func (h *failingHandle) Seek(offset int64, whence int) (int64, error) {
+	n, err := h.f.Seek(offset, whence)
+	if err == nil && whence == io.SeekStart {
+		h.read = offset
+	}
+	return n, err
+}
+
+func (h *failingHandle) Close() error { return h.f.Close() }

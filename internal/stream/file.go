@@ -71,19 +71,27 @@ func statFileKey(path string) (fileIndexKey, bool) {
 	return fileIndexKey{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()}, true
 }
 
+// Opener opens the underlying byte source of a file-backed pass. The default
+// is os.Open; tests and internal/faultio substitute one that wraps the handle
+// to inject read faults *below* the stream parser (short reads, transient
+// errors), which is how the index-cache poisoning guard is exercised.
+type Opener func(path string) (io.ReadSeekCloser, error)
+
+func defaultOpener(path string) (io.ReadSeekCloser, error) { return os.Open(path) }
+
 // lineReader yields newline-delimited lines straight out of a wide buffer,
 // tracking the absolute file offset of each line start (the raw material of
 // the shard index). Unlike bufio.Scanner it exposes those offsets and grows
 // its buffer in place for over-long lines.
 type lineReader struct {
-	file *os.File
+	file io.Reader
 	buf  []byte
 	r, w int
 	abs  int64 // file offset of buf[r]
 	eof  bool
 }
 
-func (lr *lineReader) init(file *os.File, off int64, buf []byte) {
+func (lr *lineReader) init(file io.Reader, off int64, buf []byte) {
 	if buf == nil {
 		buf = make([]byte, fileBufSize)
 	}
@@ -146,7 +154,8 @@ func (lr *lineReader) next() (line []byte, start int64, ok bool, err error) {
 // its own file handle).
 type FileStream struct {
 	path    string
-	file    *os.File
+	open    Opener
+	file    io.ReadSeekCloser
 	lr      lineReader
 	active  bool
 	line    int
@@ -169,7 +178,18 @@ type FileStream struct {
 // OpenFile returns a FileStream over the given edge-list file. The file is
 // not opened until the first Reset.
 func OpenFile(path string) *FileStream {
-	return &FileStream{path: path}
+	return &FileStream{path: path, open: defaultOpener}
+}
+
+// OpenFileWith is OpenFile with a custom Opener for the underlying byte
+// source (every handle the stream and its range sub-streams open goes through
+// it). It exists for fault injection below the parser; production callers use
+// OpenFile.
+func OpenFileWith(path string, open Opener) *FileStream {
+	if open == nil {
+		open = defaultOpener
+	}
+	return &FileStream{path: path, open: open}
 }
 
 // adoptCachedIndex makes a previously recorded shard index of this file (any
@@ -198,17 +218,12 @@ func (f *FileStream) adoptCachedIndex() {
 // Reset implements Stream by rewinding (or opening) the file.
 func (f *FileStream) Reset() error {
 	if f.file == nil {
-		file, err := os.Open(f.path)
+		file, err := f.open(f.path)
 		if err != nil {
 			return fmt.Errorf("stream: open %s: %w", f.path, err)
 		}
 		f.file = file
-		if info, serr := file.Stat(); serr == nil && info.Mode().IsRegular() {
-			f.cacheKey = fileIndexKey{path: f.path, size: info.Size(), mtime: info.ModTime().UnixNano()}
-			f.cacheKeyOK = true
-		} else {
-			f.cacheKeyOK = false
-		}
+		f.cacheKey, f.cacheKeyOK = statFileKey(f.path)
 		f.adoptCachedIndex()
 	} else if _, err := f.file.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("stream: rewind %s: %w", f.path, err)
@@ -244,10 +259,24 @@ func (f *FileStream) deliver(start int64) {
 }
 
 // endOfPass finalizes a cleanly completed pass: the stream length is now
-// known and the shard index is complete.
-func (f *FileStream) endOfPass() {
+// known and the shard index is complete. A pass that saw EOF before
+// consuming the bytes the open-time stat promised is NOT clean — a short
+// read below the parser (an injected fault, a file shrunk after open) looks
+// like a normal EOF up here. Trusting it would record a wrong m and, worse,
+// publish a partial position→offset index under the real file's cache key,
+// poisoning every later open of the file. Such a pass returns an error
+// (transient: a re-run through a healed reader sees the whole file) and
+// discards its index instead.
+func (f *FileStream) endOfPass() error {
 	if f.broken {
-		return
+		return nil
+	}
+	if f.cacheKeyOK && f.lr.abs != f.cacheKey.size {
+		f.abortPass()
+		f.index = f.index[:0]
+		f.indexLines = f.indexLines[:0]
+		return MarkTransient(fmt.Errorf("stream: %s: pass consumed %d of %d bytes: %w",
+			f.path, f.lr.abs, f.cacheKey.size, ErrTruncated))
 	}
 	f.m = f.pos
 	f.mKnown = true
@@ -263,6 +292,7 @@ func (f *FileStream) endOfPass() {
 			})
 		}
 	}
+	return nil
 }
 
 // Next implements Stream.
@@ -281,7 +311,9 @@ func (f *FileStream) Next() (graph.Edge, error) {
 			return graph.Edge{}, fmt.Errorf("stream: reading %s: %w", f.path, err)
 		}
 		if !ok {
-			f.endOfPass()
+			if eerr := f.endOfPass(); eerr != nil {
+				return graph.Edge{}, eerr
+			}
 			return graph.Edge{}, ErrEndOfPass
 		}
 		f.line++
@@ -328,7 +360,13 @@ func (f *FileStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 			return buf[:n], nil
 		}
 		if !ok {
-			f.endOfPass()
+			if eerr := f.endOfPass(); eerr != nil {
+				if n == 0 {
+					return nil, eerr
+				}
+				f.pending = eerr
+				return buf[:n], nil
+			}
 			if n == 0 {
 				return nil, ErrEndOfPass
 			}
@@ -443,7 +481,7 @@ func (f *FileStream) RangeStream(lo, hi int) (Stream, bool) {
 	if !f.indexDone || lo < 0 || hi < lo || hi > f.m {
 		return nil, false
 	}
-	return &fileRange{path: f.path, lo: lo, hi: hi, index: f.index, indexLines: f.indexLines}, true
+	return &fileRange{path: f.path, open: f.open, lo: lo, hi: hi, index: f.index, indexLines: f.indexLines}, true
 }
 
 // Close releases the underlying file handle. The stream can be Reset again
@@ -462,10 +500,11 @@ func (f *FileStream) Close() error {
 // indexed edge-list file, with its own file handle and parse state.
 type fileRange struct {
 	path       string
+	open       Opener
 	lo, hi     int
 	index      []int64
 	indexLines []int32
-	file       *os.File
+	file       io.ReadSeekCloser
 	lr         lineReader
 	active     bool
 	line       int
@@ -485,7 +524,11 @@ func (r *fileRange) Reset() error {
 		return nil
 	}
 	if r.file == nil {
-		file, err := os.Open(r.path)
+		open := r.open
+		if open == nil {
+			open = defaultOpener
+		}
+		file, err := open(r.path)
 		if err != nil {
 			return fmt.Errorf("stream: open %s: %w", r.path, err)
 		}
@@ -503,7 +546,7 @@ func (r *fileRange) Reset() error {
 	for skip := r.lo - slot*fileIndexGranularity; skip > 0; skip-- {
 		if _, err := r.next(); err != nil {
 			if err == ErrEndOfPass {
-				return fmt.Errorf("stream: %s ended before position %d", r.path, r.lo)
+				return fmt.Errorf("stream: %s ended before position %d: %w", r.path, r.lo, ErrTruncated)
 			}
 			return err
 		}
@@ -547,8 +590,8 @@ func (r *fileRange) Next() (graph.Edge, error) {
 	}
 	e, err := r.next()
 	if err == ErrEndOfPass {
-		return graph.Edge{}, fmt.Errorf("stream: %s ended %d edges into range [%d,%d)",
-			r.path, r.hi-r.lo-r.remaining, r.lo, r.hi)
+		return graph.Edge{}, fmt.Errorf("stream: %s ended %d edges into range [%d,%d): %w",
+			r.path, r.hi-r.lo-r.remaining, r.lo, r.hi, ErrTruncated)
 	}
 	if err != nil {
 		return graph.Edge{}, err
@@ -583,8 +626,8 @@ func (r *fileRange) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
 		e, err := r.next()
 		if err != nil {
 			if err == ErrEndOfPass {
-				err = fmt.Errorf("stream: %s ended %d edges into range [%d,%d)",
-					r.path, r.hi-r.lo-r.remaining, r.lo, r.hi)
+				err = fmt.Errorf("stream: %s ended %d edges into range [%d,%d): %w",
+					r.path, r.hi-r.lo-r.remaining, r.lo, r.hi, ErrTruncated)
 			}
 			if n == 0 {
 				return nil, err

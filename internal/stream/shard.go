@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -95,48 +96,147 @@ func ShardedForEachBatch(
 	process func(shard int, batch []graph.Edge) error,
 	merge func(shard int) error,
 ) (int, error) {
+	n, _, err := ShardedScan(context.Background(), s, m, workers, RetryPolicy{}, process, merge)
+	return n, err
+}
+
+// ShardedScan is ShardedForEachBatch with a cancellation context and a
+// transient-I/O retry policy. The context is checked at every batch boundary:
+// a cancelled or deadline-expired scan stops within one batch and returns the
+// context's error wrapped with the stream position it reached. When retry is
+// enabled, a read that fails with a transient error (IsTransient) is resumed
+// at the exact position it broke — the failing reader is replaced by a fresh
+// RangeStream over the undelivered remainder — after the policy's backoff;
+// process and merge never observe a duplicated or missing edge, so a healed
+// scan is bit-identical to an undisturbed one. Transient Reset failures are
+// likewise retried (nothing has been delivered yet). retries reports how many
+// such recoveries the scan performed.
+//
+// Mid-scan resume needs position addressability: on a stream without range
+// access (a text file's very first pass) a transient read error propagates to
+// the caller, wrapped transient so a state-free caller may re-run the whole
+// pass itself.
+func ShardedScan(
+	ctx context.Context,
+	s Stream,
+	m, workers int,
+	retry RetryPolicy,
+	process func(shard int, batch []graph.Edge) error,
+	merge func(shard int) error,
+) (count, retries int, err error) {
 	if m < 0 {
-		return 0, fmt.Errorf("stream: sharded pass with negative m = %d", m)
+		return 0, 0, fmt.Errorf("stream: sharded pass with negative m = %d", m)
 	}
 	if known, ok := s.Len(); ok && known != m {
-		return 0, fmt.Errorf("stream: sharded pass declared %d edges but the stream holds %d", m, known)
+		return 0, 0, fmt.Errorf("stream: sharded pass declared %d edges but the stream holds %d", m, known)
 	}
 	if workers > 1 && ActiveShards(m) > 1 {
 		if rs, ok := s.(RangeStreamer); ok {
 			if _, avail := rs.RangeStream(0, 0); avail {
-				return shardedParallel(rs, m, workers, process, merge)
+				return shardedParallel(ctx, rs, m, workers, retry, process, merge)
 			}
 		}
 	}
-	return shardedSequential(s, m, process, merge)
+	return shardedSequential(ctx, s, m, retry, process, merge)
+}
+
+// resetWithRetry begins a pass, retrying transient Reset failures under the
+// policy (a failed Reset has delivered nothing, so re-running it is free).
+func resetWithRetry(ctx context.Context, s Stream, retry RetryPolicy) (retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return retries, posErr(ctx, 0, 0)
+		}
+		err = s.Reset()
+		if err == nil || !retry.Enabled() || attempt >= retry.MaxAttempts || !IsTransient(err) {
+			return retries, err
+		}
+		if serr := retry.sleep(ctx, attempt); serr != nil {
+			return retries, posErr(ctx, 0, 0)
+		}
+		retries++
+	}
+}
+
+// resumeAt replaces a reader whose read failed transiently with a fresh
+// sub-stream over the undelivered remainder [pos, m) of src. It returns
+// ok=false when src cannot address positions (no range access).
+func resumeAt(src Stream, pos, m int) (Stream, bool) {
+	rs, ok := src.(RangeStreamer)
+	if !ok {
+		return nil, false
+	}
+	sub, ok := rs.RangeStream(pos, m)
+	if !ok {
+		return nil, false
+	}
+	return sub, true
 }
 
 // shardedSequential is the single-scan path: one Reset, batches split at
 // shard boundaries, merge(k) as soon as shard k's range has been consumed.
+// Transient read failures resume on a range sub-stream over the remainder
+// when the source supports it.
 func shardedSequential(
+	ctx context.Context,
 	s Stream,
 	m int,
+	retry RetryPolicy,
 	process func(shard int, batch []graph.Edge) error,
 	merge func(shard int) error,
-) (int, error) {
-	if err := s.Reset(); err != nil {
-		return 0, err
+) (int, int, error) {
+	retries, err := resetWithRetry(ctx, s, retry)
+	if err != nil {
+		return 0, retries, err
 	}
 	count := 0
 	shard := 0
 	_, hi := ShardRange(m, 0)
+	cur := s // the reader currently delivering edges: s, or a resume range
+	var curCloser io.Closer
+	closeCur := func() {
+		if curCloser != nil {
+			curCloser.Close()
+			curCloser = nil
+		}
+	}
+	defer closeCur()
+	failStreak := 0 // consecutive transient failures without progress
 	for {
-		batch, err := s.NextBatch(nil)
+		if cerr := ctx.Err(); cerr != nil {
+			return count, retries, posErr(ctx, count, m)
+		}
+		batch, err := cur.NextBatch(nil)
 		if err == ErrEndOfPass {
 			break
 		}
 		if err != nil {
-			return count, err
+			if retry.Enabled() && failStreak < retry.MaxAttempts && IsTransient(err) {
+				if serr := retry.sleep(ctx, failStreak); serr != nil {
+					return count, retries, posErr(ctx, count, m)
+				}
+				if sub, ok := resumeAt(s, count, m); ok {
+					failStreak++
+					rr, rerr := resetWithRetry(ctx, sub, retry)
+					retries += rr + 1
+					if rerr == nil {
+						closeCur()
+						cur = sub
+						if c, isCloser := sub.(io.Closer); isCloser {
+							curCloser = c
+						}
+						continue
+					}
+					err = rerr
+				}
+			}
+			return count, retries, err
 		}
+		failStreak = 0
 		for len(batch) > 0 {
 			for count >= hi && shard < NumShards-1 {
 				if err := merge(shard); err != nil {
-					return count, err
+					return count, retries, err
 				}
 				shard++
 				_, hi = ShardRange(m, shard)
@@ -147,39 +247,44 @@ func shardedSequential(
 			}
 			if take == 0 {
 				// Only possible in the last shard: the stream is longer than m.
-				return count, fmt.Errorf("stream: sharded pass saw more than the declared %d edges", m)
+				return count, retries, fmt.Errorf("stream: sharded pass saw more than the declared %d edges", m)
 			}
 			if err := process(shard, batch[:take]); err != nil {
-				return count, err
+				return count, retries, err
 			}
 			count += take
 			batch = batch[take:]
 		}
 	}
 	if count != m {
-		return count, fmt.Errorf("stream: sharded pass saw %d edges, expected %d", count, m)
+		return count, retries, fmt.Errorf("stream: sharded pass saw %d edges, expected %d: %w", count, m, ErrTruncated)
 	}
 	for ; shard < NumShards; shard++ {
 		if err := merge(shard); err != nil {
-			return count, err
+			return count, retries, err
 		}
 	}
-	return count, nil
+	return count, retries, nil
 }
 
 // shardedParallel fans the shard grid out over a bounded worker pool and
 // merges completed shards in order on the calling goroutine.
 func shardedParallel(
+	ctx context.Context,
 	rs RangeStreamer,
 	m, workers int,
+	retry RetryPolicy,
 	process func(shard int, batch []graph.Edge) error,
 	merge func(shard int) error,
-) (int, error) {
+) (int, int, error) {
 	// One Reset so a PassCounter charges one logical pass; the actual reads
 	// go through the per-shard range streams.
-	if err := rs.Reset(); err != nil {
-		return 0, err
+	resetRetries, err := resetWithRetry(ctx, rs, retry)
+	if err != nil {
+		return 0, resetRetries, err
 	}
+	var retryCount atomic.Int64
+	retryCount.Store(int64(resetRetries))
 	if a := ActiveShards(m); workers > a {
 		workers = a
 	}
@@ -204,25 +309,58 @@ func shardedParallel(
 		if lo == hi {
 			return 0, nil
 		}
-		sub, ok := rs.RangeStream(lo, hi)
-		if !ok {
-			return 0, fmt.Errorf("stream: range access for shard %d withdrawn mid-pass", k)
+		// open positions the shard's reader at absolute position lo+n; a
+		// transient failure mid-shard re-opens at the exact resume point.
+		var sub Stream
+		var subCloser io.Closer
+		closeSub := func() {
+			if subCloser != nil {
+				subCloser.Close()
+				subCloser = nil
+			}
 		}
-		if c, isCloser := sub.(io.Closer); isCloser {
-			defer c.Close()
+		defer closeSub()
+		open := func(from int) error {
+			closeSub()
+			s, ok := rs.RangeStream(from, hi)
+			if !ok {
+				return fmt.Errorf("stream: range access for shard %d withdrawn mid-pass", k)
+			}
+			sub = s
+			if c, isCloser := s.(io.Closer); isCloser {
+				subCloser = c
+			}
+			rr, err := resetWithRetry(ctx, s, retry)
+			retryCount.Add(int64(rr))
+			return err
 		}
-		if err := sub.Reset(); err != nil {
+		if err := open(lo); err != nil {
 			return 0, err
 		}
 		n := 0
+		failStreak := 0
 		for {
+			if cerr := ctx.Err(); cerr != nil {
+				return n, posErr(ctx, lo+n, m)
+			}
 			batch, err := sub.NextBatch(nil)
 			if err == ErrEndOfPass {
 				return n, nil
 			}
 			if err != nil {
+				if retry.Enabled() && failStreak < retry.MaxAttempts && IsTransient(err) {
+					if serr := retry.sleep(ctx, failStreak); serr != nil {
+						return n, posErr(ctx, lo+n, m)
+					}
+					failStreak++
+					retryCount.Add(1)
+					if rerr := open(lo + n); rerr == nil {
+						continue
+					}
+				}
 				return n, err
 			}
+			failStreak = 0
 			if err := process(k, batch); err != nil {
 				return n, err
 			}
@@ -288,12 +426,12 @@ func shardedParallel(
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return count, firstErr
+		return count, int(retryCount.Load()), firstErr
 	}
 	if count != m {
-		return count, fmt.Errorf("stream: sharded pass saw %d edges, expected %d", count, m)
+		return count, int(retryCount.Load()), fmt.Errorf("stream: sharded pass saw %d edges, expected %d: %w", count, m, ErrTruncated)
 	}
-	return count, nil
+	return count, int(retryCount.Load()), nil
 }
 
 // ShardPool is a tiny free list for the per-shard scratch state of a sharded

@@ -10,6 +10,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -135,6 +136,73 @@ func CountEdgesAndMaxID(s Stream) (m, maxID int, err error) {
 		return nil
 	})
 	return m, maxID, err
+}
+
+// ForEachBatchCtx is ForEachBatch with cancellation and whole-pass retry:
+// the context is checked at every batch boundary (a cancelled pass stops
+// within one batch, returning the context error wrapped with the position
+// reached), and when retry is enabled a transient read failure re-runs the
+// entire pass from Reset. Whole-pass retry is only sound for state-free
+// callers — fn must tolerate seeing edges again from the start — which is
+// exactly the shape of the counting preludes this serves; stateful passes go
+// through ShardedScan, whose recovery resumes instead of re-running. retries
+// reports the recoveries performed.
+func ForEachBatchCtx(ctx context.Context, s Stream, retry RetryPolicy, fn func([]graph.Edge) error) (count, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		count, err = func() (int, error) {
+			if err := s.Reset(); err != nil {
+				return 0, err
+			}
+			n := 0
+			for {
+				if cerr := ctx.Err(); cerr != nil {
+					return n, posErr(ctx, n, -1)
+				}
+				batch, err := s.NextBatch(nil)
+				if err == ErrEndOfPass {
+					return n, nil
+				}
+				if err != nil {
+					return n, err
+				}
+				n += len(batch)
+				if err := fn(batch); err != nil {
+					return n, err
+				}
+			}
+		}()
+		if err == nil || !retry.Enabled() || attempt >= retry.MaxAttempts || !IsTransient(err) {
+			return count, retries, err
+		}
+		if serr := retry.sleep(ctx, attempt); serr != nil {
+			return count, retries, posErr(ctx, count, -1)
+		}
+		retries++
+	}
+}
+
+// CountEdgesCtx is CountEdges with cancellation and whole-pass retry (the
+// count is state-free, so re-running a failed pass is always sound).
+func CountEdgesCtx(ctx context.Context, s Stream, retry RetryPolicy) (m, retries int, err error) {
+	return ForEachBatchCtx(ctx, s, retry, func([]graph.Edge) error { return nil })
+}
+
+// CountEdgesAndMaxIDCtx is CountEdgesAndMaxID with cancellation and
+// whole-pass retry (max is idempotent under replay, so re-running is sound).
+func CountEdgesAndMaxIDCtx(ctx context.Context, s Stream, retry RetryPolicy) (m, maxID, retries int, err error) {
+	maxID = -1
+	m, retries, err = ForEachBatchCtx(ctx, s, retry, func(batch []graph.Edge) error {
+		for _, e := range batch {
+			if e.U > maxID {
+				maxID = e.U
+			}
+			if e.V > maxID {
+				maxID = e.V
+			}
+		}
+		return nil
+	})
+	return m, maxID, retries, err
 }
 
 // Materialize makes one pass over the stream and builds the full graph. This

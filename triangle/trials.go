@@ -1,12 +1,14 @@
 package triangle
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"degentri/internal/core"
 	"degentri/internal/degen"
 	"degentri/internal/exp"
+	"degentri/internal/passes"
 	"degentri/internal/sched"
 	"degentri/internal/stream"
 )
@@ -46,6 +48,14 @@ type TrialsResult struct {
 	// Aborted reports that at least one trial hit the space cutoff (its
 	// estimate is meaningless; the mean then is too).
 	Aborted bool
+	// Partial reports that at least one trial was interrupted by a deadline
+	// or cancellation and degraded to its best accepted estimate (see
+	// Result.Partial); the mean then mixes confirmed and partial estimates.
+	Partial bool
+	// Retries is the number of transient-fault retries across the prelude and
+	// every fused scan (resource accounting only; retries never change the
+	// estimates).
+	Retries int
 }
 
 // EstimateFileTrials runs the streaming estimator several times over one
@@ -60,6 +70,15 @@ type TrialsResult struct {
 // Trial i uses seed Options.Seed + i·7919; trial 0 therefore reproduces the
 // exact estimate of a plain EstimateFile call with the same options.
 func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, error) {
+	return EstimateFileTrialsCtx(context.Background(), path, opts, trials)
+}
+
+// EstimateFileTrialsCtx is EstimateFileTrials honoring a context:
+// cancellation fails every live trial's next wave (the whole fused run winds
+// down promptly), and trials that had already accepted a probe degrade to
+// partial estimates (TrialsResult.Partial). Transient I/O faults are retried
+// per Options.RetryAttempts with the count in TrialsResult.Retries.
+func EstimateFileTrialsCtx(ctx context.Context, path string, opts Options, trials int) (TrialsResult, error) {
 	if trials < 1 {
 		return TrialsResult{}, fmt.Errorf("triangle: trials must be positive, got %d", trials)
 	}
@@ -68,6 +87,11 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 		return TrialsResult{}, err
 	}
 	defer fs.Close()
+	var src stream.Stream = fs
+	if opts.WrapStream != nil {
+		src = opts.WrapStream(src)
+	}
+	retry := retryPolicy(opts)
 
 	seed := opts.Seed
 	if seed == 0 {
@@ -79,15 +103,17 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 	// Discover m, fusing the degeneracy peel's vertex-ID discovery into the
 	// counting scan when both are needed.
 	needPeel := opts.Degeneracy <= 0 && !opts.ExactDegeneracy
-	m, known := fs.Len()
+	m, known := src.Len()
 	maxID := -1
 	if !known {
 		var err error
+		var r int
 		if needPeel {
-			m, maxID, err = stream.CountEdgesAndMaxID(fs)
+			m, maxID, r, err = stream.CountEdgesAndMaxIDCtx(ctx, src, retry)
 		} else {
-			m, err = stream.CountEdges(fs)
+			m, r, err = stream.CountEdgesCtx(ctx, src, retry)
 		}
+		out.Retries += r
 		if err != nil {
 			return out, err
 		}
@@ -104,7 +130,7 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 	switch {
 	case kappa > 0:
 	case opts.ExactDegeneracy:
-		g, err := stream.Materialize(fs)
+		g, err := stream.Materialize(src)
 		if err != nil {
 			return out, err
 		}
@@ -117,7 +143,9 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 		if maxID >= 0 {
 			dopts.KnownVertices = maxID + 1
 		}
-		dres, err := degen.Estimate(fs, m, dopts)
+		peelX := passes.NewDirectCtx(ctx, src, m, opts.Workers, retry)
+		dres, err := degen.EstimateOn(peelX, dopts)
+		out.Retries += peelX.Retries()
 		if err != nil {
 			return out, err
 		}
@@ -160,7 +188,10 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 		// never absent from the wave barrier (lockstep fusion holds).
 		return core.AutoEstimateFrom(c, cfg)
 	}
-	ft, err := exp.RunTrialsFused(fs, m, trials, opts.Workers, runTrial)
+	// ft.Retries is the scheduler-wide total; per-trial Result.Retries under
+	// fusion reports the same shared counter and must not be summed on top.
+	ft, err := exp.RunTrialsFusedCtx(ctx, src, m, trials, opts.Workers, retry, runTrial)
+	out.Retries += ft.Retries
 	if err != nil {
 		return out, fmt.Errorf("triangle: %w", err)
 	}
@@ -171,6 +202,9 @@ func EstimateFileTrials(path string, opts Options, trials int) (TrialsResult, er
 		out.Passes += res.Passes
 		if res.Aborted {
 			out.Aborted = true
+		}
+		if res.Partial {
+			out.Partial = true
 		}
 	}
 	out.Passes += preludePasses

@@ -20,6 +20,7 @@
 package triangle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -67,6 +68,19 @@ type Options struct {
 	// Workers bounds the concurrent shard workers of a single estimator run
 	// (0 = GOMAXPROCS). Estimates are identical at any worker count.
 	Workers int
+	// RetryAttempts bounds how many times a physical scan retries a transient
+	// I/O failure (with exponential backoff) before giving up. Zero selects
+	// the library default (3 attempts); a negative value disables retry
+	// entirely. Retries resume a scan exactly where it failed, so a retried
+	// run is bit-identical to an undisturbed one — Result.Retries reports
+	// only the extra I/O spent.
+	RetryAttempts int
+	// WrapStream, when non-nil, wraps every stream the estimator opens before
+	// any pass runs over it. This is a development hook — it exists for fault
+	// injection (internal/faultio, the hidden trianglecount -inject flag) and
+	// tests; production callers should leave it nil. The wrapper must
+	// preserve the stream's contents and ordering.
+	WrapStream func(stream.Stream) stream.Stream
 }
 
 // Result reports the estimate together with its resource usage.
@@ -96,6 +110,16 @@ type Result struct {
 	DegeneracyApprox bool
 	// Aborted reports that the MaxSpaceWords cutoff fired.
 	Aborted bool
+	// Partial reports that a deadline or cancellation interrupted the
+	// geometric search after at least one probe had completed: Estimate is
+	// the best accepted estimate so far rather than the fully confirmed one
+	// (mirroring the MaxSpaceWords degradation path). A run cancelled before
+	// any probe completed returns an error instead.
+	Partial bool
+	// Retries is the number of transient-fault retries the run's physical
+	// scans performed. Retries never change the estimate (scans resume
+	// positionally); the count is resource accounting, like Passes and Scans.
+	Retries int
 }
 
 // Stats summarizes a graph's triangle-relevant structure.
@@ -195,6 +219,17 @@ func statsOf(g *graph.Graph) Stats {
 // An input whose every edge is a loop or negative returns ErrNoEdges, the
 // same as an empty list.
 func Estimate(edges []Edge, opts Options) (Result, error) {
+	return EstimateCtx(context.Background(), edges, opts)
+}
+
+// EstimateCtx is Estimate honoring a context: cancellation or a deadline
+// aborts the run within one batch boundary of the active scan, returning an
+// error wrapping ctx's cause (errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded hold, and core.ErrAborted / core.ErrDeadline brand
+// which). A run interrupted after at least one accepted probe degrades
+// gracefully instead: it returns the best estimate so far with Result.Partial
+// set and a nil error.
+func EstimateCtx(ctx context.Context, edges []Edge, opts Options) (Result, error) {
 	if len(edges) == 0 {
 		return Result{}, ErrNoEdges
 	}
@@ -208,7 +243,10 @@ func Estimate(edges []Edge, opts Options) (Result, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	src := stream.FromGraphShuffled(g, seed)
+	var src stream.Stream = stream.FromGraphShuffled(g, seed)
+	if opts.WrapStream != nil {
+		src = opts.WrapStream(src)
+	}
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
 		kappa = 0
@@ -220,7 +258,7 @@ func Estimate(edges []Edge, opts Options) (Result, error) {
 			}
 		}
 	}
-	return estimateStream(src, opts, kappa)
+	return estimateStream(ctx, src, opts, kappa)
 }
 
 // EstimateFile runs the streaming estimator over an edge file (text edge
@@ -236,16 +274,26 @@ func Estimate(edges []Edge, opts Options) (Result, error) {
 // first (cmd/graphgen -convert does); Estimate canonicalizes its in-memory
 // input and is the reference for the deduplicated answer.
 func EstimateFile(path string, opts Options) (Result, error) {
+	return EstimateFileCtx(context.Background(), path, opts)
+}
+
+// EstimateFileCtx is EstimateFile honoring a context; see EstimateCtx for
+// the cancellation, degradation, and retry semantics.
+func EstimateFileCtx(ctx context.Context, path string, opts Options) (Result, error) {
 	fs, err := stream.OpenAuto(path)
 	if err != nil {
 		return Result{}, err
 	}
 	defer fs.Close()
+	var src stream.Stream = fs
+	if opts.WrapStream != nil {
+		src = opts.WrapStream(src)
+	}
 	kappa := opts.Degeneracy
 	if kappa <= 0 {
 		kappa = 0
 		if opts.ExactDegeneracy {
-			g, err := stream.Materialize(fs)
+			g, err := stream.Materialize(src)
 			if err != nil {
 				return Result{}, err
 			}
@@ -255,10 +303,11 @@ func EstimateFile(path string, opts Options) (Result, error) {
 			}
 		}
 	}
-	m, known := fs.Len()
+	preludeRetries := 0
+	m, known := src.Len()
 	if !known {
 		var err error
-		m, err = stream.CountEdges(fs)
+		m, preludeRetries, err = stream.CountEdgesCtx(ctx, src, retryPolicy(opts))
 		if err != nil {
 			return Result{}, err
 		}
@@ -266,7 +315,9 @@ func EstimateFile(path string, opts Options) (Result, error) {
 	if m == 0 {
 		return Result{}, ErrNoEdges
 	}
-	return estimateStream(fs, opts, kappa)
+	res, err := estimateStream(ctx, src, opts, kappa)
+	res.Retries += preludeRetries
+	return res, err
 }
 
 // coreConfig maps the facade options onto an estimator configuration. It is
@@ -291,19 +342,36 @@ func coreConfig(opts Options, kappa int) core.Config {
 	cfg.Seed = seed
 	cfg.MaxSpaceWords = opts.MaxSpaceWords
 	cfg.Workers = opts.Workers
+	cfg.Retry = retryPolicy(opts)
 	return cfg
 }
 
-func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) {
+// retryPolicy maps Options.RetryAttempts onto the scan engine's policy:
+// zero = the library default, negative = disabled, positive = that attempt
+// bound with the default backoff schedule.
+func retryPolicy(opts Options) stream.RetryPolicy {
+	switch {
+	case opts.RetryAttempts < 0:
+		return stream.RetryPolicy{}
+	case opts.RetryAttempts == 0:
+		return stream.DefaultRetryPolicy()
+	default:
+		p := stream.DefaultRetryPolicy()
+		p.MaxAttempts = opts.RetryAttempts
+		return p
+	}
+}
+
+func estimateStream(ctx context.Context, src stream.Stream, opts Options, kappa int) (Result, error) {
 	cfg := coreConfig(opts, kappa)
 
 	var res core.Result
 	var err error
 	if opts.TriangleGuess > 0 {
 		cfg.TGuess = opts.TriangleGuess
-		res, err = core.EstimateTriangles(src, cfg)
+		res, err = core.NewEstimator(cfg).RunCtx(ctx, src)
 	} else {
-		res, err = core.AutoEstimate(src, cfg)
+		res, err = core.AutoEstimateCtx(ctx, src, cfg)
 	}
 	if err != nil {
 		if errors.Is(err, core.ErrNoEdges) {
@@ -320,5 +388,7 @@ func estimateStream(src stream.Stream, opts Options, kappa int) (Result, error) 
 		DegeneracyBound:  res.KappaBound,
 		DegeneracyApprox: res.KappaApprox,
 		Aborted:          res.Aborted,
+		Partial:          res.Partial,
+		Retries:          res.Retries,
 	}, nil
 }
