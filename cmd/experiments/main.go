@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper-reproduction tables (E1–E13, see
-// DESIGN.md §6) and prints them as markdown, optionally writing them to a
+// DESIGN.md §7) and prints them as markdown, optionally writing them to a
 // file for inclusion in EXPERIMENTS.md.
 //
 // Usage:

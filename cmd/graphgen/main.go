@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"degentri/internal/buildinfo"
 	"degentri/internal/gen"
 	"degentri/internal/graph"
 	"degentri/internal/stream"
@@ -43,8 +44,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output path (default stdout); .bex suffix selects the binary format")
 		convert = flag.String("convert", "", "convert this edge file (text or .bex) to -out instead of generating")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("graphgen"))
+		return
+	}
 
 	if *convert != "" {
 		if *out == "" {

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 
+	"degentri/internal/buildinfo"
 	"degentri/internal/core"
 	"degentri/internal/faultio"
 	"degentri/internal/stream"
@@ -58,8 +59,13 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); a run interrupted mid-search reports its best estimate so far as partial")
 		retries = flag.Int("retries", 0, "transient I/O fault retry attempts per scan (0 = default 3, negative = disabled); retries never change the estimate")
 		inject  = flag.String("inject", "", "dev: fault-injection spec, e.g. seed=7,every=3,max=10,kinds=eio+reset (see internal/faultio)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("trianglecount"))
+		return
+	}
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "trianglecount: -input is required")
 		flag.Usage()

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"degentri/internal/buildinfo"
+)
+
+// runLoad is the built-in load driver: it fires a mixed query stream at a
+// running triangled (ramping concurrency in phases), checks that every clean
+// complete response for the same (graph, seed) returns identical estimate
+// bits, buckets every outcome, and reports the throughput trajectory — as
+// human-readable text, or as a JSON document for benchmark records.
+//
+// Exit codes: 0 consistent; 1 inconsistent estimates or no successes;
+// 2 usage; 3 cannot reach the daemon.
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("triangled load", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "", "base URL of the daemon, e.g. http://127.0.0.1:8321 (required)")
+		graphsCS = fs.String("graphs", "", "comma-separated graph names to query (default: every graph the daemon lists)")
+		n        = fs.Int("n", 1000, "total queries")
+		conc     = fs.Int("c", 32, "peak concurrency; phases ramp c/4, c/2, c")
+		seedsCS  = fs.String("seeds", "1,7,42,99", "comma-separated seeds for clean queries")
+		injFrac  = fs.Float64("inject-frac", 0, "fraction of queries carrying transient fault injection (daemon needs -allow-inject)")
+		dlFrac   = fs.Float64("deadline-frac", 0, "fraction of queries with a 1ns deadline (expected 504s)")
+		timeout  = fs.Duration("timeout", 0, "per-request deadline parameter (0 = daemon default)")
+		jsonOut  = fs.Bool("json", false, "emit a JSON report on stdout instead of text")
+		version  = fs.Bool("version", false, "print version and exit")
+	)
+	fs.Parse(args)
+	if *version {
+		fmt.Println(buildinfo.String("triangled"))
+		return
+	}
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "triangled load: -addr is required")
+		fs.Usage()
+		os.Exit(exitUsage)
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + 8}}
+
+	var seeds []uint64
+	for _, s := range strings.Split(*seedsCS, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "triangled load: bad seed %q\n", s)
+			os.Exit(exitUsage)
+		}
+		seeds = append(seeds, v)
+	}
+
+	graphs := strings.Split(*graphsCS, ",")
+	if *graphsCS == "" {
+		graphs = listGraphs(client, base)
+	}
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "triangled load: daemon lists no graphs")
+		os.Exit(exitUsage)
+	}
+
+	before := graphTotals(client, base, graphs)
+
+	// Phased ramp: the throughput trajectory under growing concurrency is
+	// the measurement; the estimate-bit cross-check is the correctness gate.
+	type phaseReport struct {
+		Concurrency int     `json:"concurrency"`
+		Queries     int     `json:"queries"`
+		Seconds     float64 `json:"seconds"`
+		QPS         float64 `json:"qps"`
+		P50Ms       float64 `json:"p50Ms"`
+		P99Ms       float64 `json:"p99Ms"`
+	}
+	concs := []int{max(1, *conc/4), max(1, *conc/2), max(1, *conc)}
+	perPhase := max(1, *n/len(concs))
+
+	var (
+		mu        sync.Mutex
+		buckets   = map[string]int{}
+		estimates = map[string]float64{} // "graph/seed" -> first seen estimate bits
+		mismatch  int
+	)
+	var phases []phaseReport
+	queryID := 0
+	for _, c := range concs {
+		latencies := make([]float64, 0, perPhase)
+		start := time.Now()
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					rng := rand.New(rand.NewSource(int64(i)*9176583461 + 29))
+					graph := graphs[rng.Intn(len(graphs))]
+					seed := seeds[rng.Intn(len(seeds))]
+					q := url.Values{"graph": {graph}, "seed": {strconv.FormatUint(seed, 10)}}
+					kind := "clean"
+					switch roll := rng.Float64(); {
+					case roll < *injFrac:
+						kind = "injected"
+						q.Set("inject", fmt.Sprintf("seed=%d,every=3,max=4,kinds=eio+reset", i))
+					case roll < *injFrac+*dlFrac:
+						kind = "deadline"
+						q.Set("timeout", "1ns")
+					default:
+						if *timeout > 0 {
+							q.Set("timeout", timeout.String())
+						}
+					}
+					t0 := time.Now()
+					status, body := getJSON(client, base+"/estimate?"+q.Encode())
+					lat := time.Since(t0).Seconds() * 1e3
+
+					mu.Lock()
+					latencies = append(latencies, lat)
+					buckets[bucketOf(kind, status, body)]++
+					if status == http.StatusOK && !body.Partial && !body.Aborted {
+						key := graph + "/" + strconv.FormatUint(seed, 10)
+						if prev, ok := estimates[key]; ok && prev != body.Estimate {
+							mismatch++
+							fmt.Fprintf(os.Stderr, "triangled load: MISMATCH %s: %v != %v\n", key, body.Estimate, prev)
+						} else if !ok {
+							estimates[key] = body.Estimate
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < perPhase; i++ {
+			work <- queryID
+			queryID++
+		}
+		close(work)
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		phases = append(phases, phaseReport{
+			Concurrency: c,
+			Queries:     perPhase,
+			Seconds:     secs,
+			QPS:         float64(perPhase) / secs,
+			P50Ms:       percentile(latencies, 50),
+			P99Ms:       percentile(latencies, 99),
+		})
+	}
+
+	after := graphTotals(client, base, graphs)
+	scans := after.scans - before.scans
+	carried := after.carried - before.carried
+	fusedWidth := 0.0
+	if scans > 0 {
+		fusedWidth = float64(carried) / float64(scans)
+	}
+
+	report := struct {
+		Phases     []phaseReport      `json:"phases"`
+		Buckets    map[string]int     `json:"buckets"`
+		Estimates  map[string]float64 `json:"estimates"`
+		Mismatches int                `json:"mismatches"`
+		Scans      int                `json:"scans"`
+		Carried    int                `json:"carried"`
+		FusedWidth float64            `json:"fusedWidth"`
+	}{phases, buckets, estimates, mismatch, scans, carried, fusedWidth}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	} else {
+		for _, p := range phases {
+			fmt.Printf("phase c=%-4d %d queries in %6.2fs  %8.1f qps  p50 %6.1fms  p99 %6.1fms\n",
+				p.Concurrency, p.Queries, p.Seconds, p.QPS, p.P50Ms, p.P99Ms)
+		}
+		keys := make([]string, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("outcome %-22s %d\n", k, buckets[k])
+		}
+		ekeys := make([]string, 0, len(estimates))
+		for k := range estimates {
+			ekeys = append(ekeys, k)
+		}
+		sort.Strings(ekeys)
+		for _, k := range ekeys {
+			fmt.Printf("estimate %-20s %.1f\n", k, estimates[k])
+		}
+		fmt.Printf("fusion: %d scans carried %d logical passes (width %.1f)\n", scans, carried, fusedWidth)
+	}
+
+	if mismatch > 0 {
+		fmt.Fprintf(os.Stderr, "triangled load: %d estimate mismatches\n", mismatch)
+		os.Exit(exitInternal)
+	}
+	if len(estimates) == 0 {
+		fmt.Fprintln(os.Stderr, "triangled load: no clean complete responses — nothing verified")
+		os.Exit(exitInternal)
+	}
+}
+
+// loadResponse is the subset of the daemon's JSON the driver reads.
+type loadResponse struct {
+	Estimate float64 `json:"estimate"`
+	Partial  bool    `json:"partial"`
+	Aborted  bool    `json:"aborted"`
+	Kind     string  `json:"kind"`
+}
+
+func getJSON(client *http.Client, u string) (int, loadResponse) {
+	var out loadResponse
+	resp, err := client.Get(u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triangled load:", err)
+		os.Exit(exitIO)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(body, &out)
+	return resp.StatusCode, out
+}
+
+// bucketOf names the outcome bucket of one response. Shed, partial, and
+// expected-deadline outcomes are load-test observations, not failures.
+func bucketOf(kind string, status int, body loadResponse) string {
+	switch {
+	case status == http.StatusOK && body.Partial:
+		return kind + ":partial"
+	case status == http.StatusOK && body.Aborted:
+		return kind + ":aborted"
+	case status == http.StatusOK:
+		return kind + ":ok"
+	default:
+		label := body.Kind
+		if label == "" {
+			label = strconv.Itoa(status)
+		}
+		return kind + ":" + label
+	}
+}
+
+func listGraphs(client *http.Client, base string) []string {
+	resp, err := client.Get(base + "/graphs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triangled load:", err)
+		os.Exit(exitIO)
+	}
+	defer resp.Body.Close()
+	var statuses []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		fmt.Fprintln(os.Stderr, "triangled load: bad /graphs response:", err)
+		os.Exit(exitIO)
+	}
+	names := make([]string, 0, len(statuses))
+	for _, st := range statuses {
+		names = append(names, st.Name)
+	}
+	return names
+}
+
+type scanTotals struct{ scans, carried int }
+
+func graphTotals(client *http.Client, base string, graphs []string) scanTotals {
+	resp, err := client.Get(base + "/graphs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triangled load:", err)
+		os.Exit(exitIO)
+	}
+	defer resp.Body.Close()
+	var statuses []struct {
+		Name    string `json:"name"`
+		Scans   int    `json:"scans"`
+		Carried int    `json:"carried"`
+	}
+	json.NewDecoder(resp.Body).Decode(&statuses)
+	want := make(map[string]bool, len(graphs))
+	for _, g := range graphs {
+		want[g] = true
+	}
+	var t scanTotals
+	for _, st := range statuses {
+		if want[st.Name] {
+			t.scans += st.Scans
+			t.carried += st.Carried
+		}
+	}
+	return t
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), sorted...)
+	sort.Float64s(vals)
+	idx := int(p / 100 * float64(len(vals)-1))
+	return vals[idx]
+}

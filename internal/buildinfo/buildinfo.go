@@ -1,0 +1,46 @@
+// Package buildinfo formats the one-line version banner the CLIs print for
+// deploy triage: which module version (VCS stamp when built from a
+// checkout) and which Go toolchain produced the binary on this host.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns the version banner for the named tool, e.g.
+//
+//	triangled degentri v0.0.0-20260808... (go1.24.0 linux/amd64)
+//
+// The module version comes from the build info stamped by the Go toolchain;
+// binaries built from a plain checkout report (devel), optionally with the
+// VCS revision when the toolchain recorded one.
+func String(tool string) string {
+	module := "degentri"
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			module = bi.Main.Path
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else if rev := setting(bi, "vcs.revision"); rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			version = "(devel, " + rev + ")"
+		}
+	}
+	return fmt.Sprintf("%s %s %s (%s %s/%s)",
+		tool, module, version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+func setting(bi *debug.BuildInfo, key string) string {
+	for _, s := range bi.Settings {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -94,7 +94,20 @@ func AutoEstimateCtx(ctx context.Context, src stream.Stream, cfg Config) (Result
 // trials) fuse their probes' passes onto shared physical scans. The caller
 // owns physical-scan accounting: Result.Scans is left zero.
 func AutoEstimateOn(sch *sched.Scheduler, cfg Config) (Result, error) {
-	return autoEstimateOn(sch, cfg, nil)
+	return autoEstimateOn(nil, sch, cfg, nil)
+}
+
+// AutoEstimateOnCtx is AutoEstimateOn with every client the search registers
+// (degeneracy peel, speculative probes, confirmation run) scoped to ctx
+// rather than to the scheduler's own context. This is the entry point of a
+// long-lived service: many requests share one scheduler over a hot stream,
+// and one request's deadline or disconnect must abandon only *its* passes —
+// mid-wave, at a batch boundary, per the per-client isolation contract —
+// while fused peers complete bit-identically. The degradation semantics are
+// those of AutoEstimateCtx: a ctx that fires after at least one usable probe
+// returns the best accepted estimate flagged Partial with a nil error.
+func AutoEstimateOnCtx(ctx context.Context, sch *sched.Scheduler, cfg Config) (Result, error) {
+	return autoEstimateOn(ctx, sch, cfg, nil)
 }
 
 // AutoEstimateFrom is AutoEstimateOn invoked from an existing scheduler
@@ -105,10 +118,13 @@ func AutoEstimateOn(sch *sched.Scheduler, cfg Config) (Result, error) {
 // handoff client is left parked; the caller remains responsible for its
 // Done.
 func AutoEstimateFrom(c *sched.Client, cfg Config) (Result, error) {
-	return autoEstimateOn(c.Scheduler(), cfg, c)
+	return autoEstimateOn(nil, c.Scheduler(), cfg, c)
 }
 
-func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Result, error) {
+// autoEstimateOn runs the search. clientCtx scopes every client it registers;
+// nil means the scheduler's context (sched.NewClientCtx treats nil the same
+// way, so the two spellings are one code path).
+func autoEstimateOn(clientCtx context.Context, sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Result, error) {
 	// release parks the handoff client; it must be called only once at least
 	// one search-owned client is registered (a just-registered client is
 	// born non-waiting, so it blocks waves until it submits). Early-error
@@ -135,7 +151,7 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 	kappaApprox := false
 	var kappaSpace int64
 	if cfg.Kappa == 0 {
-		c := sch.NewClient()
+		c := sch.NewClientCtx(clientCtx)
 		release()
 		// Hold the peel's words on the scheduler's group meter while the
 		// peel is live (concurrent peels of fused searches add up there);
@@ -201,7 +217,7 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 	runBatch := func(cfgs []Config) ([]Result, []error) {
 		clients := make([]*sched.Client, len(cfgs))
 		for i := range cfgs {
-			clients[i] = sch.NewClient()
+			clients[i] = sch.NewClientCtx(clientCtx)
 		}
 		release()
 		results := make([]Result, len(cfgs))
@@ -312,7 +328,7 @@ func autoEstimateOn(sch *sched.Scheduler, cfg Config, handoff *sched.Client) (Re
 		runCfg := cfg
 		runCfg.TGuess = confirmGuess
 		runCfg.Seed = cfg.Seed + uint64(accepted+1)*0x9e37 + 0x51ed
-		res, err := runProbe(sch.NewClient(), runCfg)
+		res, err := runProbe(sch.NewClientCtx(clientCtx), runCfg)
 		logical += res.Passes
 		if err != nil {
 			if ctxDone(err) {

@@ -88,9 +88,11 @@ type Scheduler struct {
 
 	mu      sync.Mutex
 	active  int        // registered clients that are neither parked nor done
+	live    int        // registered clients that have not called Done
 	pending []*request // submitted, not yet carried by a wave
 	running bool       // a wave is executing
 	scans   int
+	carried int // cumulative requests served across all waves
 	retries int
 	meter   *stream.SharedMeter
 }
@@ -130,6 +132,26 @@ func (s *Scheduler) Scans() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.scans
+}
+
+// Carried returns the cumulative number of fused requests the scheduler's
+// waves have served: Carried()/Scans() is the average fused width, the
+// coalescing ratio a long-lived service reports — N clients over one hot
+// stream should push it well above 1.
+func (s *Scheduler) Carried() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.carried
+}
+
+// Live returns how many registered clients have not yet called Done. A
+// scheduler whose owner has quiesced must report zero: a positive value
+// after every request finished means a leaked client, which would hold back
+// every future wave.
+func (s *Scheduler) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
 }
 
 // Retries returns how many transient-I/O recoveries the scheduler's physical
@@ -181,6 +203,7 @@ func (s *Scheduler) NewClientCtx(ctx context.Context) *Client {
 	}
 	s.mu.Lock()
 	s.active++
+	s.live++
 	s.mu.Unlock()
 	return &Client{s: s, ctx: ctx}
 }
@@ -263,6 +286,7 @@ func (c *Client) Done() {
 		s.active--
 	}
 	c.parked = false
+	s.live--
 	s.maybeLaunchLocked()
 	s.mu.Unlock()
 }
@@ -278,6 +302,7 @@ func (s *Scheduler) maybeLaunchLocked() {
 	s.pending = nil
 	s.running = true
 	s.scans++
+	s.carried += len(batch)
 	go s.wave(batch)
 }
 

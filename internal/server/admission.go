@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// errShed brands a request rejected because the waiting room is full.
+	// Shedding at the door keeps queueing delay bounded: beyond QueueDepth
+	// waiters, another queued request only adds latency, never throughput.
+	errShed = errors.New("server: overloaded, request shed")
+
+	// errBudget brands a request whose declared space budget does not fit
+	// under the process ceiling alongside the budgets already admitted.
+	errBudget = errors.New("server: space budget exceeds available capacity")
+
+	// errDraining brands requests arriving after SIGTERM started the drain.
+	errDraining = errors.New("server: draining, not accepting requests")
+)
+
+// admission is the daemon's front door: a fixed pool of execution slots, a
+// bounded waiting room in front of it, and a ledger of declared space
+// budgets. A request holds one slot for its whole execution; requests beyond
+// the pool wait in the queue, and requests beyond the queue are shed
+// immediately with errShed (HTTP 429) rather than piling up latency.
+//
+// The ledger enforces the paper's resource model at the process level: every
+// request declares MaxSpaceWords (its own abort threshold), and the daemon
+// refuses to co-schedule a set of requests whose *declared* budgets sum past
+// SpaceCeilingWords. This is admission control on promises, not live usage —
+// deliberately, so the decision is instant and a rejected request (errBudget,
+// HTTP 503) can retry against a sibling or later, instead of being admitted
+// and then aborted mid-scan when the aggregate peak materializes.
+type admission struct {
+	slots    chan struct{}
+	queueCap int64
+	queued   atomic.Int64
+
+	mu       sync.Mutex
+	admitted int64 // sum of declared budgets currently holding slots
+	ceiling  int64
+}
+
+func newAdmission(maxConcurrent, queueDepth int, ceiling int64) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		queueCap: int64(queueDepth),
+		ceiling:  ceiling,
+	}
+}
+
+// enter admits one request with the given declared budget, blocking in the
+// bounded queue if all slots are busy. On success it returns a release
+// function (idempotent); on failure the request was not admitted and holds
+// nothing. The caller's ctx bounds the queue wait, so a request never spends
+// its whole deadline waiting for a slot it can no longer use.
+func (a *admission) enter(ctx context.Context, budget int64) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		if a.queued.Add(1) > a.queueCap {
+			a.queued.Add(-1)
+			return nil, errShed
+		}
+		select {
+		case a.slots <- struct{}{}:
+			a.queued.Add(-1)
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, fmt.Errorf("server: queued request gave up: %w", context.Cause(ctx))
+		}
+	}
+
+	a.mu.Lock()
+	if a.admitted+budget > a.ceiling {
+		avail := a.ceiling - a.admitted
+		a.mu.Unlock()
+		<-a.slots
+		return nil, fmt.Errorf("%w: declared %d words, %d available under ceiling %d", errBudget, budget, avail, a.ceiling)
+	}
+	a.admitted += budget
+	a.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.admitted -= budget
+			a.mu.Unlock()
+			<-a.slots
+		})
+	}, nil
+}
+
+// gauges returns the live admission state for /metrics: busy execution
+// slots, queued waiters, and the sum of admitted declared budgets.
+func (a *admission) gauges() (busy, queued int, admittedWords int64) {
+	a.mu.Lock()
+	admittedWords = a.admitted
+	a.mu.Unlock()
+	return len(a.slots), int(a.queued.Load()), admittedWords
+}

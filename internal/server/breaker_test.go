@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker timing tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 100*time.Millisecond, 400*time.Millisecond, clk.now)
+
+	if !b.allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	// Two failures stay closed; a success resets the streak.
+	b.onIOFailure()
+	b.onIOFailure()
+	b.onSuccess()
+	b.onIOFailure()
+	b.onIOFailure()
+	if st, _, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state after interrupted streak = %s, want closed", st)
+	}
+	// Third consecutive failure trips.
+	if !b.onIOFailure() {
+		t.Fatal("threshold-th consecutive failure did not trip")
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed before backoff elapsed")
+	}
+	// Backoff elapses: exactly one probe gets through.
+	clk.advance(101 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe not admitted after backoff")
+	}
+	if b.allow() {
+		t.Fatal("second probe admitted while half-open")
+	}
+	// Failed probe reopens with doubled backoff.
+	if !b.onIOFailure() {
+		t.Fatal("failed probe did not report a trip")
+	}
+	clk.advance(101 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("probe admitted before the doubled backoff elapsed")
+	}
+	clk.advance(100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe not admitted after doubled backoff")
+	}
+	// A neutral probe outcome (deadline) hands the slot back: the next
+	// request probes immediately, no backoff doubling.
+	b.onNeutral()
+	if !b.allow() {
+		t.Fatal("probe not re-admitted after a neutral probe outcome")
+	}
+	// Successful probe closes and resets the backoff ladder.
+	b.onSuccess()
+	if st, _, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+	b.onIOFailure()
+	b.onIOFailure()
+	b.onIOFailure()
+	_, retryIn, trips := b.snapshot()
+	if retryIn <= 0 || retryIn > 100*time.Millisecond {
+		t.Fatalf("retryIn after reset ladder = %v, want (0, 100ms]", retryIn)
+	}
+	if trips != 3 {
+		t.Fatalf("cumulative trips = %d, want 3", trips)
+	}
+	// Backoff cap: repeated failed probes saturate at backoffMax.
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		if !b.allow() {
+			t.Fatalf("probe %d not admitted", i)
+		}
+		b.onIOFailure()
+	}
+	_, retryIn, _ = b.snapshot()
+	if retryIn > 400*time.Millisecond {
+		t.Fatalf("backoff %v exceeded cap 400ms", retryIn)
+	}
+}
+
+func TestAdmissionSlotsAndShedding(t *testing.T) {
+	a := newAdmission(2, 1, 1<<20)
+	rel1, err := a.enter(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.enter(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots full: one waiter fits in the queue, the next is shed.
+	waited := make(chan error, 1)
+	entered := make(chan func(), 1)
+	go func() {
+		rel, err := a.enter(context.Background(), 10)
+		entered <- rel
+		waited <- err
+	}()
+	// Wait until the goroutine is parked in the queue.
+	for i := 0; ; i++ {
+		if _, q, _ := a.gauges(); q == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.enter(context.Background(), 10); !errors.Is(err, errShed) {
+		t.Fatalf("overflow request got %v, want errShed", err)
+	}
+	// Releasing a slot admits the queued waiter.
+	rel1()
+	rel1() // idempotent
+	if err := <-waited; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	(<-entered)()
+	rel2()
+	if busy, queued, admitted := a.gauges(); busy != 0 || queued != 0 || admitted != 0 {
+		t.Fatalf("gauges after full release = (%d, %d, %d), want zeros", busy, queued, admitted)
+	}
+}
+
+func TestAdmissionQueueHonorsContext(t *testing.T) {
+	a := newAdmission(1, 4, 1<<20)
+	rel, err := a.enter(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.enter(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request past its deadline got %v, want DeadlineExceeded", err)
+	}
+	if _, queued, _ := a.gauges(); queued != 0 {
+		t.Fatalf("queued gauge = %d after ctx abandon, want 0", queued)
+	}
+}
+
+func TestAdmissionBudgetLedger(t *testing.T) {
+	a := newAdmission(8, 8, 100)
+	rel1, err := a.enter(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.enter(context.Background(), 60); !errors.Is(err, errBudget) {
+		t.Fatalf("over-ceiling request got %v, want errBudget", err)
+	}
+	// The rejected request must not leak its slot.
+	if busy, _, admitted := a.gauges(); busy != 1 || admitted != 60 {
+		t.Fatalf("gauges after budget rejection = (%d busy, %d words), want (1, 60)", busy, admitted)
+	}
+	rel2, err := a.enter(context.Background(), 40)
+	if err != nil {
+		t.Fatalf("exact-fit request rejected: %v", err)
+	}
+	rel1()
+	rel2()
+	if _, _, admitted := a.gauges(); admitted != 0 {
+		t.Fatalf("admitted = %d after release, want 0", admitted)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+)
+
+// metrics is the daemon's counter set, exposed as Prometheus-style text at
+// /metrics (hand-rolled: the exposition format is lines, not a dependency).
+type metrics struct {
+	requests atomic.Int64 // every request that reached a handler
+
+	// Outcome counters; a request lands in exactly one.
+	ok             atomic.Int64 // 200, complete result
+	partial        atomic.Int64 // 200 with partial=true (deadline degradation)
+	aborted        atomic.Int64 // 200 with aborted=true (budget cutoff)
+	shed           atomic.Int64 // 429, queue full
+	budgetRejected atomic.Int64 // 503, ledger refused the declared budget
+	quarantined    atomic.Int64 // 503, breaker open
+	draining       atomic.Int64 // 503, arrived after SIGTERM
+	deadline       atomic.Int64 // 504, deadline with nothing usable
+	canceled       atomic.Int64 // 499-class, client went away
+	ioErrors       atomic.Int64 // 502, I/O-classified failure (responses)
+	badRequest     atomic.Int64 // 400
+	notFound       atomic.Int64 // 404
+	internal       atomic.Int64 // 500
+
+	injected     atomic.Int64 // requests that ran with fault injection
+	groupBuilds  atomic.Int64 // ScanGroup (re)builds
+	breakerTrips atomic.Int64 // quarantine transitions
+	ioFailures   atomic.Int64 // I/O-classified outcomes fed to breakers
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := &s.met
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("triangled_requests_total", "Requests that reached a handler.", m.requests.Load())
+	counter("triangled_responses_ok_total", "Complete 200 responses.", m.ok.Load())
+	counter("triangled_responses_partial_total", "200 responses flagged partial (deadline degradation).", m.partial.Load())
+	counter("triangled_responses_aborted_total", "200 responses flagged aborted (space budget cutoff).", m.aborted.Load())
+	counter("triangled_shed_total", "Requests shed at the door (429).", m.shed.Load())
+	counter("triangled_budget_rejected_total", "Requests refused by the space-budget ledger (503).", m.budgetRejected.Load())
+	counter("triangled_quarantined_total", "Requests refused by an open breaker (503).", m.quarantined.Load())
+	counter("triangled_draining_total", "Requests refused during drain (503).", m.draining.Load())
+	counter("triangled_deadline_total", "Requests that timed out with nothing usable (504).", m.deadline.Load())
+	counter("triangled_canceled_total", "Requests whose client went away.", m.canceled.Load())
+	counter("triangled_io_errors_total", "I/O-classified failures returned to clients (502).", m.ioErrors.Load())
+	counter("triangled_bad_request_total", "Malformed requests (400).", m.badRequest.Load())
+	counter("triangled_not_found_total", "Requests for unregistered graphs (404).", m.notFound.Load())
+	counter("triangled_internal_total", "Internal errors (500).", m.internal.Load())
+	counter("triangled_injected_total", "Requests executed with fault injection.", m.injected.Load())
+	counter("triangled_group_builds_total", "ScanGroup builds and rebuilds.", m.groupBuilds.Load())
+	counter("triangled_breaker_trips_total", "Breaker trips into quarantine.", m.breakerTrips.Load())
+	counter("triangled_breaker_io_failures_total", "I/O outcomes fed to graph breakers.", m.ioFailures.Load())
+
+	busy, queued, admitted := s.adm.gauges()
+	gauge("triangled_slots_busy", "Execution slots in use.", int64(busy))
+	gauge("triangled_queue_depth", "Requests waiting for a slot.", int64(queued))
+	gauge("triangled_admitted_space_words", "Sum of declared budgets of admitted requests.", admitted)
+	gauge("triangled_inflight_requests", "Requests currently executing.", s.inflightN.Load())
+	gauge("triangled_goroutines", "Goroutines in the process.", int64(runtime.NumGoroutine()))
+	if s.draining.Load() {
+		gauge("triangled_draining", "1 while the daemon is draining.", 1)
+	} else {
+		gauge("triangled_draining", "1 while the daemon is draining.", 0)
+	}
+
+	for _, name := range s.names {
+		st := s.entries[name].snapshot()
+		fmt.Fprintf(w, "triangled_graph_scans_total{graph=%q} %d\n", name, st.Scans)
+		fmt.Fprintf(w, "triangled_graph_carried_total{graph=%q} %d\n", name, st.Carried)
+		fmt.Fprintf(w, "triangled_graph_live_clients{graph=%q} %d\n", name, st.Live)
+		fmt.Fprintf(w, "triangled_graph_peak_space_words{graph=%q} %d\n", name, st.PeakSpaceWords)
+	}
+}

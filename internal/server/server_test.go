@@ -1,0 +1,427 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"degentri/internal/gen"
+	"degentri/internal/stream"
+	"degentri/triangle"
+)
+
+// writeGraph generates a Holme–Kim graph file for serving.
+func writeGraph(t *testing.T, path string, n, deg int, seed uint64) {
+	t.Helper()
+	gr := gen.HolmeKim(n, deg, 0.5, seed)
+	if err := stream.WriteGraphFile(path, gr, "server test"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// get issues one request and decodes the JSON body into out (which may be
+// nil to ignore the body). It returns the HTTP status.
+func get(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitCensus asserts the goroutine count returns to the baseline (small
+// tolerance for runtime background goroutines) within a deadline.
+func waitCensus(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine census %d never returned to baseline %d; stacks:\n%s", n, baseline, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPartialEndToEnd pins the satellite requirement: a request deadline
+// firing mid-search comes back over HTTP as a 200 with partial=true and the
+// best completed probe's estimate — never a zero estimate, never a 500. The
+// ladder injects a per-pass stall so the full search takes much longer than
+// the early probes, then walks timeouts across that window; at least one
+// rung must land in the middle.
+func TestPartialEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 2000, 5, 7)
+
+	s, err := New(Config{
+		Graphs:      map[string]string{"g": path},
+		AllowInject: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// A 1ns deadline is dead on arrival: 504 with the deadline kind, no
+	// estimate payload.
+	var eresp errorResponse
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=1&timeout=1ns", &eresp); code != http.StatusGatewayTimeout {
+		t.Fatalf("dead-on-arrival request: status %d (%+v), want 504", code, eresp)
+	}
+	if eresp.Kind != "deadline" {
+		t.Fatalf("dead-on-arrival kind = %q, want deadline", eresp.Kind)
+	}
+
+	// Stall ladder: every pass sleeps 25ms, so a full search costs hundreds
+	// of ms while the first probes complete quickly.
+	const inject = "seed=5,every=1,kinds=stall,stall=25ms"
+	ladder := []string{"120ms", "250ms", "450ms", "800ms", "1500ms", "3s", "10s"}
+	partials, completes := 0, 0
+	for _, timeout := range ladder {
+		var resp estimateResponse
+		url := fmt.Sprintf("%s/estimate?graph=g&seed=9&inject=%s&timeout=%s", ts.URL, inject, timeout)
+		code := get(t, client, url, &resp)
+		switch code {
+		case http.StatusOK:
+			if resp.Estimate <= 0 {
+				t.Errorf("timeout=%s: 200 with estimate %v (partial=%v) — a served result must carry a usable estimate", timeout, resp.Estimate, resp.Partial)
+			}
+			if resp.Partial {
+				partials++
+			} else {
+				completes++
+			}
+		case http.StatusGatewayTimeout:
+			// Deadline before the first usable probe: legitimate for the
+			// shortest rungs.
+		default:
+			t.Errorf("timeout=%s: unexpected status %d", timeout, code)
+		}
+	}
+	if partials == 0 {
+		t.Errorf("no rung of the timeout ladder returned a partial result (completes=%d); the mid-search degradation path never fired", completes)
+	}
+	if completes == 0 {
+		t.Errorf("no rung completed; the generous rungs should finish the search")
+	}
+}
+
+// TestBreakerQuarantineAndRecovery exercises the full quarantine lifecycle
+// over HTTP: a graph that starts healthy, is corrupted underneath its warm
+// group (truncated in place), fails requests with I/O errors until the
+// breaker trips, rejects instantly while quarantined, and recovers through
+// a half-open probe after the file is restored and the backoff elapses.
+func TestBreakerQuarantineAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 800, 4, 3)
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	s, err := New(Config{
+		Graphs:           map[string]string{"g": path},
+		BreakerThreshold: 2,
+		BreakerBackoff:   time.Minute,
+		now:              clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var healthy estimateResponse
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=1", &healthy); code != http.StatusOK {
+		t.Fatalf("healthy request: status %d, want 200", code)
+	}
+
+	// Corrupt the file under the warm group: scans now come up short.
+	if err := os.Truncate(path, int64(len(content)/2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var eresp errorResponse
+		code := get(t, client, ts.URL+"/estimate?graph=g&seed=2", &eresp)
+		if code != http.StatusBadGateway || eresp.Kind != "io" {
+			t.Fatalf("request %d against truncated file: status %d kind %q, want 502 io (%s)", i, code, eresp.Kind, eresp.Error)
+		}
+	}
+	// Threshold reached: the graph is quarantined and rejects without I/O.
+	var eresp errorResponse
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=3", &eresp); code != http.StatusServiceUnavailable || eresp.Kind != "quarantined" {
+		t.Fatalf("quarantined request: status %d kind %q, want 503 quarantined", code, eresp.Kind)
+	}
+	var graphs []graphStatus
+	get(t, client, ts.URL+"/graphs", &graphs)
+	if len(graphs) != 1 || graphs[0].State != "quarantined" || graphs[0].Breaker != "open" {
+		t.Fatalf("/graphs during quarantine = %+v", graphs)
+	}
+
+	// Restore the file; before the backoff elapses the breaker still rejects.
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=4", &eresp); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-backoff request: status %d, want 503", code)
+	}
+	// After the backoff the next request is the probe: it rebuilds the group
+	// and must reproduce the original estimate bit-for-bit.
+	clk.advance(61 * time.Second)
+	var recovered estimateResponse
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=1", &recovered); code != http.StatusOK {
+		t.Fatalf("probe request after restore: status %d, want 200", code)
+	}
+	if recovered.Estimate != healthy.Estimate {
+		t.Errorf("recovered estimate %v != pre-quarantine %v", recovered.Estimate, healthy.Estimate)
+	}
+	get(t, client, ts.URL+"/graphs", &graphs)
+	if graphs[0].Breaker != "closed" || graphs[0].State != "ready" {
+		t.Fatalf("/graphs after recovery = %+v", graphs)
+	}
+}
+
+// TestBudgetRejectionOverHTTP pins the admission ledger's HTTP face: a
+// declared budget that cannot fit under the ceiling is refused with 503 and
+// a Retry-After, while a modest budget on the same server is served.
+func TestBudgetRejectionOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 600, 4, 5)
+	s, err := New(Config{
+		Graphs:            map[string]string{"g": path},
+		SpaceCeilingWords: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var eresp errorResponse
+	code := get(t, ts.Client(), ts.URL+"/estimate?graph=g&seed=1&budget=2097152", &eresp)
+	if code != http.StatusServiceUnavailable || eresp.Kind != "budget" {
+		t.Fatalf("over-ceiling budget: status %d kind %q, want 503 budget", code, eresp.Kind)
+	}
+	var resp estimateResponse
+	if code := get(t, ts.Client(), ts.URL+"/estimate?graph=g&seed=1&budget=524288", &resp); code != http.StatusOK || resp.Estimate <= 0 {
+		t.Fatalf("fitting budget: status %d estimate %v, want 200 with a positive estimate", code, resp.Estimate)
+	}
+	// A tiny budget is admitted (the ledger is about aggregate capacity) and
+	// comes back as a 200 flagged aborted — the library's budget cutoff.
+	if code := get(t, ts.Client(), ts.URL+"/estimate?graph=g&seed=1&budget=8", &resp); code != http.StatusOK || !resp.Aborted {
+		t.Fatalf("tiny budget: status %d aborted=%v, want 200 aborted", code, resp.Aborted)
+	}
+}
+
+// TestDrain pins the shutdown protocol: once draining, readiness flips and
+// new requests are refused with the draining kind, in-flight requests finish
+// inside the grace period, and the drain reports clean.
+func TestDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 1500, 5, 9)
+	s, err := New(Config{
+		Graphs:      map[string]string{"g": path},
+		AllowInject: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code := get(t, client, ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+
+	// Park a slow request in flight (per-pass stalls), then drain under it.
+	inflight := make(chan int, 1)
+	var inflightResp estimateResponse
+	go func() {
+		url := ts.URL + "/estimate?graph=g&seed=2&inject=seed=3,every=1,kinds=stall,stall=20ms&timeout=30s"
+		inflight <- get(t, client, url, &inflightResp)
+	}()
+	for i := 0; s.inflightN.Load() == 0; i++ {
+		if i > 2000 {
+			t.Fatal("background request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan bool, 1)
+	go func() { drained <- s.Drain(20 * time.Second) }()
+	for i := 0; !s.draining.Load(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code := get(t, client, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", code)
+	}
+	if code := get(t, client, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness is not readiness)", code)
+	}
+	var eresp errorResponse
+	if code := get(t, client, ts.URL+"/estimate?graph=g&seed=1", &eresp); code != http.StatusServiceUnavailable || eresp.Kind != "draining" {
+		t.Fatalf("new request during drain: status %d kind %q, want 503 draining", code, eresp.Kind)
+	}
+
+	if code := <-inflight; code != http.StatusOK || inflightResp.Estimate <= 0 {
+		t.Fatalf("in-flight request during drain: status %d estimate %v, want 200 with estimate", code, inflightResp.Estimate)
+	}
+	if clean := <-drained; !clean {
+		t.Error("drain reported dirty despite the in-flight request finishing in grace")
+	}
+	if n := s.inflightN.Load(); n != 0 {
+		t.Fatalf("inflight = %d after drain", n)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	waitCensus(t, baseline)
+}
+
+// TestDrainHardDeadline pins the other half of the protocol: an in-flight
+// request that cannot finish inside the grace period is hard-cancelled (the
+// scheduler lifetime dies) instead of blocking shutdown forever.
+func TestDrainHardDeadline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 1500, 5, 11)
+	s, err := New(Config{
+		Graphs:      map[string]string{"g": path},
+		AllowInject: true,
+		MaxTimeout:  5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		// Heavy stalls: this cannot finish in the 50ms grace below.
+		url := ts.URL + "/estimate?graph=g&seed=2&inject=seed=3,every=1,kinds=stall,stall=300ms&timeout=4m"
+		done <- get(t, ts.Client(), url, nil)
+	}()
+	for i := 0; s.inflightN.Load() == 0; i++ {
+		if i > 2000 {
+			t.Fatal("background request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	clean := s.Drain(50 * time.Millisecond)
+	if clean {
+		t.Error("drain reported clean despite hard-cancelling a straggler")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain took %v; the hard deadline did not bound it", elapsed)
+	}
+	select {
+	case <-done:
+		// The straggler observed the cancellation and returned some status;
+		// which one depends on where the abort landed (504, partial 200).
+	case <-time.After(10 * time.Second):
+		t.Fatal("straggling request never returned after hard cancel")
+	}
+}
+
+// TestConcurrentRequestsShareScans is the HTTP-level fusion pin: N
+// concurrent same-graph requests leave the group with far fewer physical
+// scans than N standalone runs would have paid, with every response
+// bit-identical to the library.
+func TestConcurrentRequestsShareScans(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	writeGraph(t, path, 3000, 5, 13)
+
+	seeds := []uint64{1, 7, 42, 99, 1001, 31337}
+	want := make(map[uint64]triangle.Result, len(seeds))
+	soloScans := 0
+	for _, seed := range seeds {
+		res, err := triangle.EstimateFile(path, triangle.Options{Seed: seed, MaxSpaceWords: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = res
+		soloScans += res.Scans
+	}
+
+	s, err := New(Config{Graphs: map[string]string{"g": path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	responses := make([]estimateResponse, len(seeds))
+	codes := make([]int, len(seeds))
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/estimate?graph=g&seed=%d", ts.URL, seed)
+			codes[i] = get(t, ts.Client(), url, &responses[i])
+		}(i, seed)
+	}
+	wg.Wait()
+	for i, seed := range seeds {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, codes[i])
+		}
+		if responses[i].Estimate != want[seed].Estimate {
+			t.Errorf("seed %d: served estimate %v != library %v", seed, responses[i].Estimate, want[seed].Estimate)
+		}
+		if !responses[i].Fused {
+			t.Errorf("seed %d: response not flagged fused", seed)
+		}
+	}
+	var graphs []graphStatus
+	get(t, ts.Client(), ts.URL+"/graphs", &graphs)
+	if graphs[0].Scans >= soloScans {
+		t.Errorf("group scans %d not below the %d scans of %d standalone runs", graphs[0].Scans, soloScans, len(seeds))
+	}
+	if graphs[0].Live != 0 {
+		t.Errorf("live clients = %d after all requests returned", graphs[0].Live)
+	}
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"bytes"
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -49,18 +50,84 @@ type fileIndexEntry struct {
 	m          int
 }
 
+// defaultIndexCacheCap bounds how many distinct files the process-wide index
+// cache retains. An entry costs ~12 bytes per 1024 edges of its file, so the
+// bound is about working-set hygiene in long-lived processes (a daemon
+// serving an open-ended registry of graph files), not about any single
+// entry's size: without it the cache grows monotonically with every file the
+// process ever touched — a slow leak.
+const defaultIndexCacheCap = 64
+
 // fileIndexCache caches completed shard indexes per file across FileStream
 // instances of one process: repeated opens of the same edge list (trial
-// sweeps, geometric-search harnesses re-opening their input) get range
-// access — and with it parallel sharded passes — from their very first pass
-// instead of re-probing the index on a sequential scan each time.
+// sweeps, geometric-search harnesses re-opening their input, daemon requests
+// against a registered graph) get range access — and with it parallel
+// sharded passes — from their very first pass instead of re-probing the
+// index on a sequential scan each time. The cache is LRU-bounded (see
+// defaultIndexCacheCap): the least recently touched file's index is evicted
+// first, and an evicted file merely rebuilds its index on its next full
+// pass.
 //
 // The cache restores the *physical* capability only. Logical knowledge is
 // deliberately not cached: Len() still reports unknown until the stream
 // completes a pass of its own, so a fresh run's pass accounting (the paper's
 // metric charges a counting pass for a length-unknown source) is identical
 // with or without the cache.
-var fileIndexCache sync.Map // fileIndexKey → *fileIndexEntry
+var fileIndexCache = newIndexCache(defaultIndexCacheCap)
+
+// indexCache is a mutex-guarded LRU map from file identity to completed
+// shard index. Load and Store both count as a touch.
+type indexCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[fileIndexKey]*list.Element // value: *indexCacheNode
+	order   list.List                      // front = most recently used
+}
+
+type indexCacheNode struct {
+	key   fileIndexKey
+	entry *fileIndexEntry
+}
+
+func newIndexCache(cap int) *indexCache {
+	c := &indexCache{cap: cap, entries: make(map[fileIndexKey]*list.Element)}
+	c.order.Init()
+	return c
+}
+
+func (c *indexCache) Load(key fileIndexKey) (*fileIndexEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*indexCacheNode).entry, true
+}
+
+func (c *indexCache) Store(key fileIndexKey, entry *fileIndexEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*indexCacheNode).entry = entry
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&indexCacheNode{key: key, entry: entry})
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*indexCacheNode).key)
+	}
+}
+
+// Len reports how many files currently have a cached index.
+func (c *indexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // statFileKey builds the cache key from the path's current stat.
 func statFileKey(path string) (fileIndexKey, bool) {
@@ -203,8 +270,7 @@ func (f *FileStream) adoptCachedIndex() {
 	if !ok {
 		return
 	}
-	if v, hit := fileIndexCache.Load(key); hit {
-		e := v.(*fileIndexEntry)
+	if e, hit := fileIndexCache.Load(key); hit {
 		f.index, f.indexLines = e.index, e.indexLines
 		f.indexDone = true
 		// m is adopted for RangeStream bounds checking only; mKnown stays
@@ -273,8 +339,14 @@ func (f *FileStream) endOfPass() error {
 	}
 	if f.cacheKeyOK && f.lr.abs != f.cacheKey.size {
 		f.abortPass()
-		f.index = f.index[:0]
-		f.indexLines = f.indexLines[:0]
+		if f.indexing {
+			// Discard the partial index of this aborted build. A previously
+			// *completed* index (indexDone) is kept: it describes the file the
+			// open-time stat promised, and clearing it while indexDone stays
+			// true would hand RangeStream an empty index to seek through.
+			f.index = f.index[:0]
+			f.indexLines = f.indexLines[:0]
+		}
 		return MarkTransient(fmt.Errorf("stream: %s: pass consumed %d of %d bytes: %w",
 			f.path, f.lr.abs, f.cacheKey.size, ErrTruncated))
 	}
@@ -479,6 +551,11 @@ func (f *FileStream) RangeStream(lo, hi int) (Stream, bool) {
 		f.adoptCachedIndex()
 	}
 	if !f.indexDone || lo < 0 || hi < lo || hi > f.m {
+		return nil, false
+	}
+	if lo/fileIndexGranularity >= len(f.index) {
+		// The index does not cover the requested start (defensive: an index
+		// invalidated or raced away). Sequential fallback, never a bad seek.
 		return nil, false
 	}
 	return &fileRange{path: f.path, open: f.open, lo: lo, hi: hi, index: f.index, indexLines: f.indexLines}, true

@@ -87,6 +87,84 @@ func TestFileIndexCacheAcrossOpens(t *testing.T) {
 	}
 }
 
+// TestIndexCacheLRU pins the cache's replacement policy on a private
+// instance: capacity is enforced, the least recently *touched* entry (loads
+// count) is the one evicted, and re-storing an existing key refreshes it in
+// place.
+func TestIndexCacheLRU(t *testing.T) {
+	key := func(i int) fileIndexKey { return fileIndexKey{path: fmt.Sprintf("f%d", i), size: int64(i)} }
+	entry := func(m int) *fileIndexEntry { return &fileIndexEntry{m: m} }
+
+	c := newIndexCache(3)
+	for i := 0; i < 3; i++ {
+		c.Store(key(i), entry(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch key 0: key 1 becomes the LRU entry.
+	if _, ok := c.Load(key(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Store(key(3), entry(3))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Load(key(1)); ok {
+		t.Fatal("key 1 survived although it was least recently used")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Load(key(i)); !ok {
+			t.Fatalf("key %d evicted although more recently used", i)
+		}
+	}
+	// Re-storing an existing key replaces the entry without growing the cache.
+	c.Store(key(2), entry(99))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after overwrite, want 3", c.Len())
+	}
+	if e, ok := c.Load(key(2)); !ok || e.m != 99 {
+		t.Fatalf("overwritten entry = %+v, %v", e, ok)
+	}
+}
+
+// TestFileIndexCacheEviction pins the leak fix end to end: the process-wide
+// cache holds at most defaultIndexCacheCap files, so completing passes over
+// cap+1 distinct files evicts the oldest — a fresh stream over it rebuilds
+// its index instead of adopting a cached one — while the most recent files
+// still hit. (Inserting cap+1 fresh entries in order makes the outcome
+// deterministic regardless of what earlier tests left in the shared cache.)
+func TestFileIndexCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	n := defaultIndexCacheCap + 1
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("g%d.txt", i))
+		writeEdgeFileAt(t, paths[i], edges)
+		fs := OpenFile(paths[i])
+		if m, err := CountEdges(fs); err != nil || m != len(edges) {
+			t.Fatalf("counting pass over %s: %d, %v", paths[i], m, err)
+		}
+		fs.Close()
+	}
+	if got := fileIndexCache.Len(); got > defaultIndexCacheCap {
+		t.Fatalf("cache holds %d entries, cap is %d", got, defaultIndexCacheCap)
+	}
+	// The first file's index was evicted by the cap+1-th insertion.
+	oldest := OpenFile(paths[0])
+	if _, ok := oldest.RangeStream(0, 0); ok {
+		t.Fatal("oldest file still served from the cache past the capacity bound")
+	}
+	oldest.Close()
+	// The most recent file still hits.
+	newest := OpenFile(paths[n-1])
+	if _, ok := newest.RangeStream(0, 0); !ok {
+		t.Fatal("most recent file missed the cache")
+	}
+	newest.Close()
+}
+
 // TestFileIndexCacheInvalidatedByRewrite checks that replacing the file's
 // content invalidates the cached index (stat identity key) instead of
 // serving stale offsets.
