@@ -1,0 +1,100 @@
+// Command benchdiff compares a candidate benchmark run against a committed
+// baseline BENCH_N.json and fails the build on regressions: it is the
+// machine-checked half of the benchmark trajectory. Tolerance bands live in
+// the baseline file itself (per metric: direction, class, rel/abs tolerance),
+// so what counts as a regression is version-controlled alongside the numbers.
+//
+// Deterministic metrics (estimates, relative error, passes, scans, space
+// words) hard-fail the diff when they regress beyond their band; timing
+// metrics (edges/s, wall-clock) only warn, because CI hardware varies. The
+// diff prints a markdown delta table either way.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_4.json -candidate candidate.json
+//	benchdiff -history 'BENCH_*.json'    # PR-over-PR trajectory table
+//
+// Exit codes: 0 success (warnings allowed); 1 hard regression; 2 usage
+// error; 3 I/O or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"degentri/internal/benchfmt"
+	"degentri/internal/buildinfo"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline BENCH_N.json (schema v2)")
+		candidate = flag.String("candidate", "", "candidate run to compare against the baseline")
+		history   = flag.String("history", "", "glob of trajectory files (legacy and v2) to print as a table")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchdiff"))
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	if *history != "" {
+		os.Exit(runHistory(*history))
+	}
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -baseline and -candidate (or -history)")
+		os.Exit(2)
+	}
+
+	base, err := benchfmt.Read(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(3)
+	}
+	cand, err := benchfmt.Read(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(3)
+	}
+
+	res := benchfmt.Diff(base, cand)
+	fmt.Print(res.Markdown(filepath.Base(*baseline), filepath.Base(*candidate)))
+	if res.Failed() {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d hard regression(s) against %s\n", res.Fails, *baseline)
+		os.Exit(1)
+	}
+}
+
+// runHistory prints the full PR-over-PR trajectory: legacy pre-schema files
+// and schema-v2 files side by side, sorted by entry number.
+func runHistory(pattern string) int {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no files match %q\n", pattern)
+		return 2
+	}
+	sort.Strings(paths)
+	var files []*benchfmt.File
+	for _, p := range paths {
+		f, err := benchfmt.ReadAny(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+	fmt.Print(benchfmt.HistoryTable(files))
+	return 0
+}

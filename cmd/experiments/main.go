@@ -8,6 +8,16 @@
 //	experiments -scale full          # laptop-scale run recorded in EXPERIMENTS.md
 //	experiments -only E3,E4          # a subset
 //	experiments -out results.md      # also write to a file
+//
+// With -bench-out the command instead runs the benchmark-trajectory sweep
+// over the graphfetch corpus cache and writes a schema-v2 BENCH_N.json:
+//
+//	graphfetch -offline -cache corpus
+//	experiments -corpus corpus -bench-out BENCH_4.json -bench-entry 4 -bench-pr 8
+//
+// -bench-unfused disables scan fusion (every trial scans the file itself) —
+// the deliberate scan-economy regression CI injects to prove the benchdiff
+// gate catches it.
 package main
 
 import (
@@ -17,16 +27,28 @@ import (
 	"strings"
 	"time"
 
+	"degentri/internal/benchfmt"
 	"degentri/internal/exp"
 )
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "default", "workload scale: smoke, default, full")
-		only      = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-		out       = flag.String("out", "", "optional path to also write the markdown report to")
+		scaleFlag    = flag.String("scale", "default", "workload scale: smoke, default, full")
+		only         = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		out          = flag.String("out", "", "optional path to also write the markdown report to")
+		benchOut     = flag.String("bench-out", "", "run the corpus bench sweep and write BENCH_N.json here (skips the E-experiments)")
+		corpusDir    = flag.String("corpus", "corpus", "graphfetch cache directory for the bench sweep")
+		benchEntry   = flag.Int("bench-entry", 4, "trajectory entry number N of the BENCH_N.json being produced")
+		benchPR      = flag.Int("bench-pr", 8, "pull request number recorded in the trajectory entry")
+		benchDate    = flag.String("bench-date", "", "entry date YYYY-MM-DD (default: today)")
+		benchTrials  = flag.Int("bench-trials", 5, "estimator trials per (graph, ε) in the bench sweep")
+		benchUnfused = flag.Bool("bench-unfused", false, "disable scan fusion in the bench sweep (deliberate regression injection for gate testing)")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		os.Exit(runBenchSweep(*benchOut, *corpusDir, *benchEntry, *benchPR, *benchDate, *benchTrials, *benchUnfused))
+	}
 
 	var scale exp.Scale
 	switch *scaleFlag {
@@ -78,4 +100,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+}
+
+// runBenchSweep runs the corpus benchmark sweep and writes the trajectory
+// entry. Returns the process exit code.
+func runBenchSweep(outPath, corpusDir string, entry, pr int, date string, trials int, unfused bool) int {
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	start := time.Now()
+	file, table, err := exp.BenchSweep(exp.BenchOptions{
+		CorpusDir: corpusDir,
+		Entry:     entry,
+		PR:        pr,
+		Date:      date,
+		Trials:    trials,
+		Unfused:   unfused,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bench sweep:", err)
+		return 1
+	}
+	if err := benchfmt.Write(outPath, file); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Print(table.Markdown())
+	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads, %s)\n",
+		outPath, len(file.Workloads), time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -1,0 +1,244 @@
+// Package benchfmt defines the versioned BENCH_N.json benchmark-trajectory
+// schema and the tolerance-band comparison that turns the trajectory into a
+// machine-checked regression gate (cmd/benchdiff).
+//
+// A schema-v2 file records one benchmark run: the environment it ran on, and
+// per workload (a corpus graph) its structural facts (n, m, exact T, κ, the
+// streaming κ̂) plus a set of named metrics. Every metric carries its own
+// comparison contract — direction, class, and tolerance — so the checked-in
+// baseline file defines what counts as a regression, not the diff tool:
+//
+//   - class "deterministic" metrics (estimates, relative error, passes,
+//     scans, space words) hard-fail a diff when they regress beyond the
+//     baseline's tolerance band;
+//   - class "timing" metrics (edges/s, wall-clock) only warn, because CI
+//     hardware varies run to run.
+//
+// BENCH_0–3.json predate the schema (hand-curated prose around raw numbers);
+// ReadAny loads them as legacy entries so the trajectory table can span every
+// PR, but they carry no comparable metrics.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion is the current BENCH_N.json schema. Version 1 is reserved
+// for the pre-schema hand-curated files (BENCH_0–3.json), which carry no
+// schema_version field at all.
+const SchemaVersion = 2
+
+// ErrSchemaVersion is returned (wrapped) when a file declares a schema
+// version this package does not understand.
+var ErrSchemaVersion = errors.New("benchfmt: unsupported schema version")
+
+// Metric classes. Deterministic metrics gate merges; timing metrics only
+// warn (CI hardware varies).
+const (
+	ClassDeterministic = "deterministic"
+	ClassTiming        = "timing"
+)
+
+// Metric directions: which way "worse" points.
+const (
+	BetterLower  = "lower"  // regressions are increases
+	BetterHigher = "higher" // regressions are decreases
+	BetterExact  = "exact"  // any drift beyond AbsTol is a regression
+)
+
+// Metric is one measured value plus its comparison contract. The contract
+// lives in the baseline file: when cmd/benchdiff compares a candidate against
+// a committed baseline, the baseline metric's Better/Class/RelTol/AbsTol
+// decide whether the candidate's value is a regression.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+	// Better is BetterLower, BetterHigher, or BetterExact.
+	Better string `json:"better"`
+	// Class is ClassDeterministic (regressions hard-fail) or ClassTiming
+	// (regressions warn).
+	Class string `json:"class"`
+	// RelTol is the allowed relative regression (e.g. 0.10 = 10% worse than
+	// baseline is still acceptable). Ignored for BetterExact.
+	RelTol float64 `json:"rel_tol,omitempty"`
+	// AbsTol is the allowed absolute regression; it is the only slack when
+	// the baseline value is exactly zero (a relative band around zero is
+	// empty) and the equality slack for BetterExact metrics.
+	AbsTol float64 `json:"abs_tol,omitempty"`
+}
+
+// Workload is one benchmark graph with its structural facts and metrics.
+// The structural facts (N, M, ExactT, Kappa, KappaApprox) are compared
+// exactly by Diff: they are pinned properties of the corpus, and drift means
+// the corpus itself changed out from under the trajectory.
+type Workload struct {
+	// Graph is the corpus name (e.g. "ca-GrQc"), the join key for diffs.
+	Graph string `json:"graph"`
+	// Source is "real", "offline-standin", or "generator".
+	Source string `json:"source"`
+	// Category is the corpus category (collaboration, social, web, road).
+	Category string `json:"category,omitempty"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	// ExactT is the exact triangle count (ground truth for error metrics).
+	ExactT int64 `json:"exact_t"`
+	// Kappa is the exact degeneracy κ.
+	Kappa int `json:"kappa"`
+	// KappaApprox is the streaming peel's certified bound κ̂
+	// (κ ≤ κ̂ ≤ 2(1+ε)κ); deterministic, so compared exactly.
+	KappaApprox int `json:"kappa_approx"`
+	// Metrics maps metric name (e.g. "err.median.eps0.10") to its value and
+	// comparison contract. encoding/json renders map keys sorted, so files
+	// are diff-stable.
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// Environment records where the run happened. Informational only — Diff
+// never compares environments (that is the whole reason timing metrics are
+// warn-only).
+type Environment struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Go     string `json:"go"`
+}
+
+// HostEnvironment captures the current process's environment.
+func HostEnvironment() Environment {
+	return Environment{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Go:     runtime.Version(),
+	}
+}
+
+// File is one BENCH_N.json trajectory entry.
+type File struct {
+	SchemaVersion int `json:"schema_version"`
+	// Entry is N in BENCH_N.json: the position in the trajectory.
+	Entry int `json:"benchmark_trajectory_entry"`
+	// PR is the pull request the entry records.
+	PR          int         `json:"pr"`
+	Date        string      `json:"date"`
+	Environment Environment `json:"environment"`
+	Commands    []string    `json:"commands,omitempty"`
+	Workloads   []Workload  `json:"workloads"`
+	Notes       []string    `json:"notes,omitempty"`
+
+	// Legacy marks a pre-schema file loaded by ReadAny (BENCH_0–3.json).
+	// Legacy files appear in the -history trajectory but have no workloads
+	// to diff. Never serialized.
+	Legacy bool `json:"-"`
+}
+
+// Workload returns the workload with the given graph name.
+func (f *File) Workload(graph string) (Workload, bool) {
+	for _, w := range f.Workloads {
+		if w.Graph == graph {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// SortWorkloads orders workloads by graph name so emitted files are stable.
+func (f *File) SortWorkloads() {
+	sort.Slice(f.Workloads, func(i, j int) bool { return f.Workloads[i].Graph < f.Workloads[j].Graph })
+}
+
+// Write marshals the file (indented, stable key order) to path.
+func Write(path string, f *File) error {
+	f.SchemaVersion = SchemaVersion
+	f.SortWorkloads()
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return nil
+}
+
+// Read loads a schema-v2 file. Files that declare a different schema version
+// (including pre-schema files with none) are rejected with an error wrapping
+// ErrSchemaVersion; use ReadAny when legacy entries are acceptable.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: %s declares version %d, want %d",
+			ErrSchemaVersion, path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// legacyFile matches the hand-curated shape of BENCH_0–3.json closely enough
+// to recover the trajectory metadata (entry, PR, date, environment, notes).
+type legacyFile struct {
+	Entry       int      `json:"benchmark_trajectory_entry"`
+	PR          int      `json:"pr"`
+	Date        string   `json:"date"`
+	Environment struct { // legacy files also carry cpu model and goos/goarch
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+		Go     string `json:"go"`
+	} `json:"environment"`
+	Notes []string `json:"notes"`
+}
+
+// ReadAny loads path as a schema-v2 file, falling back to the legacy
+// pre-schema reader for files without a schema_version field (whose shape —
+// e.g. an object-valued "commands" — the v2 parser would reject outright).
+// Legacy files come back with Legacy set, no workloads, and SchemaVersion 1.
+func ReadAny(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	// A file that *declares* an unknown version is an error, not legacy:
+	// legacy files predate the field entirely.
+	var probe struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	if probe.SchemaVersion != nil {
+		if *probe.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("%w: %s declares version %d, want %d",
+				ErrSchemaVersion, path, *probe.SchemaVersion, SchemaVersion)
+		}
+		return Read(path)
+	}
+	var lf legacyFile
+	if jsonErr := json.Unmarshal(data, &lf); jsonErr != nil {
+		return nil, fmt.Errorf("benchfmt: parse legacy %s: %w", path, jsonErr)
+	}
+	return &File{
+		SchemaVersion: 1,
+		Entry:         lf.Entry,
+		PR:            lf.PR,
+		Date:          lf.Date,
+		Environment: Environment{
+			GOOS: lf.Environment.GOOS, GOARCH: lf.Environment.GOARCH,
+			CPUs: lf.Environment.CPUs, Go: lf.Environment.Go,
+		},
+		Notes:  lf.Notes,
+		Legacy: true,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package benchfmt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		Entry:         4,
+		PR:            8,
+		Date:          "2026-08-08",
+		Environment: Environment{
+			GOOS: "linux", GOARCH: "amd64", CPUs: 1, Go: "go1.24.0",
+		},
+		Workloads: []Workload{
+			{
+				Graph: "ca-GrQc", Source: "offline-standin", Category: "collaboration",
+				N: 5242, M: 26170, ExactT: 48260, Kappa: 5, KappaApprox: 9,
+				Metrics: map[string]Metric{
+					"err.median.eps0.10": {Value: 0.031, Better: BetterLower, Class: ClassDeterministic, RelTol: 0.25, AbsTol: 0.02},
+					"scans.fused":        {Value: 9, Better: BetterLower, Class: ClassDeterministic},
+					"space.peak_words":   {Value: 120000, Better: BetterLower, Class: ClassDeterministic, RelTol: 0.10},
+					"edges_per_s.bex":    {Value: 4.5e8, Better: BetterHigher, Class: ClassTiming, RelTol: 0.5},
+				},
+			},
+		},
+		Notes: []string{"test fixture"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	want := sampleFile()
+	if err := Write(path, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.SchemaVersion != SchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", got.SchemaVersion, SchemaVersion)
+	}
+	if got.Entry != 4 || got.PR != 8 || got.Date != "2026-08-08" {
+		t.Errorf("identity fields did not round-trip: %+v", got)
+	}
+	w, ok := got.Workload("ca-GrQc")
+	if !ok {
+		t.Fatal("workload ca-GrQc missing after round trip")
+	}
+	if w.ExactT != 48260 || w.Kappa != 5 || w.KappaApprox != 9 {
+		t.Errorf("structural facts did not round-trip: %+v", w)
+	}
+	m := w.Metrics["err.median.eps0.10"]
+	if m.Value != 0.031 || m.Better != BetterLower || m.Class != ClassDeterministic || m.RelTol != 0.25 {
+		t.Errorf("metric contract did not round-trip: %+v", m)
+	}
+	// Writing twice must produce byte-identical files (stable key order).
+	path2 := filepath.Join(t.TempDir(), "BENCH_t2.json")
+	if err := Write(path2, sampleFile()); err != nil {
+		t.Fatalf("Write again: %v", err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("two writes of the same file differ byte-for-byte")
+	}
+}
+
+func TestReadRejectsWrongSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"future.json":  `{"schema_version": 99, "pr": 1}`,
+		"zero.json":    `{"schema_version": 0, "pr": 1}`,
+		"missing.json": `{"pr": 1, "benchmark_trajectory_entry": 0}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Read(path)
+		if !errors.Is(err, ErrSchemaVersion) {
+			t.Errorf("Read(%s) error = %v, want ErrSchemaVersion", name, err)
+		}
+	}
+}
+
+func TestReadAnyLegacy(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{
+		"benchmark_trajectory_entry": 2,
+		"pr": 5,
+		"date": "2026-07-28",
+		"environment": {"goos": "linux", "goarch": "amd64", "cpus": 1, "go": "go1.24.0"},
+		"commands": {"experiments": "go test ..."},
+		"notes": ["fusion: 54 to 7 scans"]
+	}`
+	path := filepath.Join(dir, "BENCH_2.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadAny(path)
+	if err != nil {
+		t.Fatalf("ReadAny legacy: %v", err)
+	}
+	if !f.Legacy {
+		t.Error("legacy file not flagged Legacy")
+	}
+	if f.Entry != 2 || f.PR != 5 || f.Environment.Go != "go1.24.0" {
+		t.Errorf("legacy metadata not recovered: %+v", f)
+	}
+	if len(f.Notes) != 1 || !strings.Contains(f.Notes[0], "54 to 7") {
+		t.Errorf("legacy notes not recovered: %v", f.Notes)
+	}
+
+	// A file that explicitly declares an unknown version is an error, not a
+	// legacy fallback.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAny(bad); !errors.Is(err, ErrSchemaVersion) {
+		t.Errorf("ReadAny(declared v7) error = %v, want ErrSchemaVersion", err)
+	}
+
+	// And a current-schema file loads identically through ReadAny.
+	cur := filepath.Join(dir, "BENCH_4.json")
+	if err := Write(cur, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadAny(cur)
+	if err != nil {
+		t.Fatalf("ReadAny v2: %v", err)
+	}
+	if f2.Legacy || len(f2.Workloads) != 1 {
+		t.Errorf("v2 file mangled by ReadAny: legacy=%v workloads=%d", f2.Legacy, len(f2.Workloads))
+	}
+}
+
+func TestHistoryTable(t *testing.T) {
+	legacy := &File{SchemaVersion: 1, Entry: 0, PR: 1, Date: "2026-07-28", Legacy: true,
+		Notes: []string{"seed baseline"}}
+	cur := sampleFile()
+	out := HistoryTable([]*File{cur, legacy}) // deliberately out of order
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("history table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "| 0 | 1 |") || !strings.Contains(lines[2], "legacy") {
+		t.Errorf("legacy row wrong or out of order: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], "| 4 | 8 |") || !strings.Contains(lines[3], "v2") {
+		t.Errorf("v2 row wrong: %s", lines[3])
+	}
+}

@@ -1,0 +1,257 @@
+package benchfmt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Severity of one compared metric, from best to worst.
+const (
+	SevImproved = "improved"
+	SevOK       = "ok"
+	SevNew      = "new"     // candidate-only metric or workload: informational
+	SevWarn     = "warn"    // timing regression, or timing metric missing
+	SevFail     = "fail"    // deterministic regression beyond tolerance
+	SevMissing  = "missing" // baseline deterministic metric absent from candidate
+)
+
+// Delta is one compared (workload, metric) pair.
+type Delta struct {
+	Workload string
+	Metric   string
+	Base     float64
+	Cand     float64
+	Severity string
+	Note     string
+}
+
+// DiffResult is the full comparison of a candidate run against a baseline.
+type DiffResult struct {
+	Deltas []Delta
+	Fails  int
+	Warns  int
+}
+
+// Failed reports whether the diff found any hard regression.
+func (r *DiffResult) Failed() bool { return r.Fails > 0 }
+
+func (r *DiffResult) add(d Delta) {
+	switch d.Severity {
+	case SevFail, SevMissing:
+		r.Fails++
+	case SevWarn:
+		r.Warns++
+	}
+	r.Deltas = append(r.Deltas, d)
+}
+
+// Diff compares a candidate file against the committed baseline. The
+// baseline's metric contracts (Better/Class/RelTol/AbsTol) define the
+// tolerance bands; candidate-side contracts are ignored. Structural workload
+// facts (n, m, exact T, κ, κ̂) are compared exactly — they are pinned corpus
+// properties, and drift fails the diff like any deterministic regression.
+func Diff(base, cand *File) *DiffResult {
+	res := &DiffResult{}
+	for _, bw := range base.Workloads {
+		cw, ok := cand.Workload(bw.Graph)
+		if !ok {
+			res.add(Delta{Workload: bw.Graph, Metric: "(workload)", Severity: SevMissing,
+				Note: "workload missing from candidate"})
+			continue
+		}
+		diffStructural(res, bw, cw)
+		names := make([]string, 0, len(bw.Metrics))
+		for name := range bw.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bm := bw.Metrics[name]
+			cm, ok := cw.Metrics[name]
+			if !ok {
+				sev := SevMissing
+				if bm.Class == ClassTiming {
+					sev = SevWarn
+				}
+				res.add(Delta{Workload: bw.Graph, Metric: name, Base: bm.Value,
+					Severity: sev, Note: "metric missing from candidate"})
+				continue
+			}
+			res.add(compareMetric(bw.Graph, name, bm, cm.Value))
+		}
+		// Candidate-only metrics are surfaced but never gate: a new metric
+		// has no baseline contract to regress against.
+		cnames := make([]string, 0, len(cw.Metrics))
+		for name := range cw.Metrics {
+			if _, ok := bw.Metrics[name]; !ok {
+				cnames = append(cnames, name)
+			}
+		}
+		sort.Strings(cnames)
+		for _, name := range cnames {
+			res.add(Delta{Workload: bw.Graph, Metric: name, Cand: cw.Metrics[name].Value,
+				Severity: SevNew, Note: "new metric (not in baseline)"})
+		}
+	}
+	for _, cw := range cand.Workloads {
+		if _, ok := base.Workload(cw.Graph); !ok {
+			res.add(Delta{Workload: cw.Graph, Metric: "(workload)", Severity: SevNew,
+				Note: "new workload (not in baseline)"})
+		}
+	}
+	return res
+}
+
+// diffStructural compares the pinned corpus facts of one workload.
+func diffStructural(res *DiffResult, bw, cw Workload) {
+	facts := []struct {
+		name       string
+		base, cand float64
+	}{
+		{"n", float64(bw.N), float64(cw.N)},
+		{"m", float64(bw.M), float64(cw.M)},
+		{"exact_t", float64(bw.ExactT), float64(cw.ExactT)},
+		{"kappa", float64(bw.Kappa), float64(cw.Kappa)},
+		{"kappa_approx", float64(bw.KappaApprox), float64(cw.KappaApprox)},
+	}
+	for _, f := range facts {
+		if f.base != f.cand {
+			res.add(Delta{Workload: bw.Graph, Metric: f.name, Base: f.base, Cand: f.cand,
+				Severity: SevFail, Note: "pinned corpus fact drifted"})
+		}
+	}
+}
+
+// compareMetric applies the baseline contract to one (base, cand) value pair.
+func compareMetric(workload, name string, bm Metric, cand float64) Delta {
+	d := Delta{Workload: workload, Metric: name, Base: bm.Value, Cand: cand}
+
+	var regression float64 // how far past "no worse", in the metric's units
+	var improved bool
+	switch bm.Better {
+	case BetterHigher:
+		regression = bm.Value - cand
+		improved = cand > bm.Value
+	case BetterExact:
+		regression = math.Abs(cand - bm.Value)
+	default: // BetterLower, and the safe default for unlabeled metrics
+		regression = cand - bm.Value
+		improved = cand < bm.Value
+	}
+
+	// The tolerance band: a relative band around the baseline plus an
+	// absolute slack. When the baseline is exactly zero the relative band is
+	// empty and AbsTol is the only allowance — an exact-zero baseline with
+	// no AbsTol tolerates no regression at all.
+	allow := bm.AbsTol
+	if bm.Better != BetterExact {
+		allow += bm.RelTol * math.Abs(bm.Value)
+	}
+
+	switch {
+	case regression > allow:
+		if bm.Class == ClassTiming {
+			d.Severity = SevWarn
+			d.Note = fmt.Sprintf("timing regression %s (warn-only: CI hardware varies)", deltaNote(bm, regression))
+		} else {
+			d.Severity = SevFail
+			d.Note = fmt.Sprintf("regressed %s beyond tolerance %s", deltaNote(bm, regression), tolNote(bm))
+		}
+	case improved && regression < -allow:
+		d.Severity = SevImproved
+		d.Note = fmt.Sprintf("improved %s", deltaNote(bm, -regression))
+	default:
+		d.Severity = SevOK
+	}
+	return d
+}
+
+func deltaNote(bm Metric, amount float64) string {
+	if bm.Value != 0 && bm.Better != BetterExact {
+		return fmt.Sprintf("%+.1f%%", 100*amount/math.Abs(bm.Value))
+	}
+	return fmt.Sprintf("by %.4g", amount)
+}
+
+func tolNote(bm Metric) string {
+	switch {
+	case bm.RelTol > 0 && bm.AbsTol > 0:
+		return fmt.Sprintf("(rel %.0f%% + abs %.4g)", 100*bm.RelTol, bm.AbsTol)
+	case bm.RelTol > 0:
+		return fmt.Sprintf("(rel %.0f%%)", 100*bm.RelTol)
+	case bm.AbsTol > 0:
+		return fmt.Sprintf("(abs %.4g)", bm.AbsTol)
+	default:
+		return "(exact)"
+	}
+}
+
+// Markdown renders the diff as a GitHub-flavoured markdown delta table,
+// regressions first.
+func (r *DiffResult) Markdown(baseName, candName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### benchdiff: %s vs %s\n\n", candName, baseName)
+	if len(r.Deltas) == 0 {
+		b.WriteString("baseline has no comparable workloads (legacy entry?)\n")
+		return b.String()
+	}
+	order := map[string]int{SevFail: 0, SevMissing: 1, SevWarn: 2, SevImproved: 3, SevNew: 4, SevOK: 5}
+	deltas := make([]Delta, len(r.Deltas))
+	copy(deltas, r.Deltas)
+	sort.SliceStable(deltas, func(i, j int) bool { return order[deltas[i].Severity] < order[deltas[j].Severity] })
+
+	b.WriteString("| status | workload | metric | baseline | candidate | note |\n")
+	b.WriteString("| --- | --- | --- | --- | --- | --- |\n")
+	mark := map[string]string{
+		SevFail: "❌ fail", SevMissing: "❌ missing", SevWarn: "⚠️ warn",
+		SevImproved: "✅ improved", SevNew: "ℹ️ new", SevOK: "ok",
+	}
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+			mark[d.Severity], d.Workload, d.Metric, fmtVal(d.Base), fmtVal(d.Cand), d.Note)
+	}
+	fmt.Fprintf(&b, "\n%d hard failure(s), %d warning(s), %d metric(s) compared.\n",
+		r.Fails, r.Warns, len(deltas))
+	return b.String()
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// HistoryTable renders the PR-over-PR trajectory across a set of files
+// (legacy and v2) as a markdown table, ordered by trajectory entry.
+func HistoryTable(files []*File) string {
+	sorted := make([]*File, len(files))
+	copy(sorted, files)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Entry < sorted[j].Entry })
+
+	var b strings.Builder
+	b.WriteString("| entry | PR | date | schema | workloads | metrics | headline |\n")
+	b.WriteString("| --- | --- | --- | --- | --- | --- | --- |\n")
+	for _, f := range sorted {
+		schema := fmt.Sprintf("v%d", f.SchemaVersion)
+		if f.Legacy {
+			schema = "legacy"
+		}
+		metrics := 0
+		for _, w := range f.Workloads {
+			metrics += len(w.Metrics)
+		}
+		headline := ""
+		if len(f.Notes) > 0 {
+			headline = f.Notes[0]
+		}
+		if len(headline) > 100 {
+			headline = headline[:97] + "..."
+		}
+		fmt.Fprintf(&b, "| %d | %d | %s | %s | %d | %d | %s |\n",
+			f.Entry, f.PR, f.Date, schema, len(f.Workloads), metrics, headline)
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkFile builds a one-workload file with the given metrics on top of fixed
+// structural facts.
+func mkFile(metrics map[string]Metric) *File {
+	return &File{
+		Entry: 4, PR: 8,
+		Workloads: []Workload{{
+			Graph: "g", Source: "offline-standin",
+			N: 100, M: 400, ExactT: 50, Kappa: 3, KappaApprox: 5,
+			Metrics: metrics,
+		}},
+	}
+}
+
+func findDelta(t *testing.T, r *DiffResult, metric string) Delta {
+	t.Helper()
+	for _, d := range r.Deltas {
+		if d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for metric %q in %+v", metric, r.Deltas)
+	return Delta{}
+}
+
+func TestDiffWithinToleranceOK(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"err": {Value: 0.10, Better: BetterLower, Class: ClassDeterministic, RelTol: 0.25},
+	})
+	cand := mkFile(map[string]Metric{
+		"err": {Value: 0.12, Better: BetterLower, Class: ClassDeterministic},
+	})
+	r := Diff(base, cand)
+	if r.Failed() {
+		t.Fatalf("within-tolerance diff failed: %+v", r.Deltas)
+	}
+	if d := findDelta(t, r, "err"); d.Severity != SevOK {
+		t.Errorf("err severity = %s, want ok", d.Severity)
+	}
+}
+
+func TestDiffDeterministicRegressionFails(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"scans": {Value: 10, Better: BetterLower, Class: ClassDeterministic},
+	})
+	cand := mkFile(map[string]Metric{
+		"scans": {Value: 20, Better: BetterLower, Class: ClassDeterministic},
+	})
+	r := Diff(base, cand)
+	if !r.Failed() {
+		t.Fatal("doubled scan count did not fail the diff")
+	}
+	if d := findDelta(t, r, "scans"); d.Severity != SevFail {
+		t.Errorf("scans severity = %s, want fail", d.Severity)
+	}
+	// Fewer scans is an improvement, never a failure.
+	better := mkFile(map[string]Metric{"scans": {Value: 5, Better: BetterLower, Class: ClassDeterministic}})
+	r2 := Diff(base, better)
+	if r2.Failed() {
+		t.Fatalf("improvement failed the diff: %+v", r2.Deltas)
+	}
+	if d := findDelta(t, r2, "scans"); d.Severity != SevImproved {
+		t.Errorf("improved scans severity = %s, want improved", d.Severity)
+	}
+}
+
+func TestDiffTimingRegressionWarnsOnly(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"edges_per_s": {Value: 1e8, Better: BetterHigher, Class: ClassTiming, RelTol: 0.2},
+	})
+	cand := mkFile(map[string]Metric{
+		"edges_per_s": {Value: 1e7, Better: BetterHigher, Class: ClassTiming},
+	})
+	r := Diff(base, cand)
+	if r.Failed() {
+		t.Fatalf("timing regression hard-failed: %+v", r.Deltas)
+	}
+	if r.Warns == 0 {
+		t.Fatal("10x timing regression produced no warning")
+	}
+	if d := findDelta(t, r, "edges_per_s"); d.Severity != SevWarn {
+		t.Errorf("edges_per_s severity = %s, want warn", d.Severity)
+	}
+}
+
+func TestDiffMissingMetric(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"scans": {Value: 10, Better: BetterLower, Class: ClassDeterministic},
+		"wall":  {Value: 100, Better: BetterLower, Class: ClassTiming},
+	})
+	cand := mkFile(map[string]Metric{})
+	r := Diff(base, cand)
+	if !r.Failed() {
+		t.Fatal("missing deterministic metric did not fail")
+	}
+	if d := findDelta(t, r, "scans"); d.Severity != SevMissing {
+		t.Errorf("missing scans severity = %s, want missing", d.Severity)
+	}
+	// A missing *timing* metric only warns.
+	if d := findDelta(t, r, "wall"); d.Severity != SevWarn {
+		t.Errorf("missing wall severity = %s, want warn", d.Severity)
+	}
+}
+
+func TestDiffNewMetricAndWorkloadInformational(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"scans": {Value: 10, Better: BetterLower, Class: ClassDeterministic},
+	})
+	cand := mkFile(map[string]Metric{
+		"scans": {Value: 10, Better: BetterLower, Class: ClassDeterministic},
+		"shiny": {Value: 1, Better: BetterLower, Class: ClassDeterministic},
+	})
+	cand.Workloads = append(cand.Workloads, Workload{Graph: "extra"})
+	r := Diff(base, cand)
+	if r.Failed() || r.Warns != 0 {
+		t.Fatalf("new metric/workload caused fails=%d warns=%d", r.Fails, r.Warns)
+	}
+	if d := findDelta(t, r, "shiny"); d.Severity != SevNew {
+		t.Errorf("new metric severity = %s, want new", d.Severity)
+	}
+}
+
+func TestDiffExactZeroBaseline(t *testing.T) {
+	// Relative tolerance around zero is an empty band: only AbsTol allows
+	// any drift at all.
+	base := mkFile(map[string]Metric{
+		"err.zero":  {Value: 0, Better: BetterLower, Class: ClassDeterministic, RelTol: 0.5},
+		"err.slack": {Value: 0, Better: BetterLower, Class: ClassDeterministic, RelTol: 0.5, AbsTol: 0.01},
+	})
+	cand := mkFile(map[string]Metric{
+		"err.zero":  {Value: 0.005},
+		"err.slack": {Value: 0.005},
+	})
+	r := Diff(base, cand)
+	if d := findDelta(t, r, "err.zero"); d.Severity != SevFail {
+		t.Errorf("zero baseline with no AbsTol: severity = %s, want fail", d.Severity)
+	}
+	if d := findDelta(t, r, "err.slack"); d.Severity != SevOK {
+		t.Errorf("zero baseline within AbsTol: severity = %s, want ok", d.Severity)
+	}
+}
+
+func TestDiffExactMetric(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"estimate": {Value: 123.456, Better: BetterExact, Class: ClassDeterministic},
+	})
+	same := mkFile(map[string]Metric{"estimate": {Value: 123.456}})
+	if r := Diff(base, same); r.Failed() {
+		t.Fatalf("bit-identical estimate failed: %+v", r.Deltas)
+	}
+	drift := mkFile(map[string]Metric{"estimate": {Value: 123.4561}})
+	if r := Diff(base, drift); !r.Failed() {
+		t.Fatal("estimate drift did not fail an exact metric")
+	}
+	// Exact metrics fail in *both* directions.
+	lower := mkFile(map[string]Metric{"estimate": {Value: 100}})
+	if r := Diff(base, lower); !r.Failed() {
+		t.Fatal("downward estimate drift did not fail an exact metric")
+	}
+}
+
+func TestDiffStructuralDrift(t *testing.T) {
+	base := mkFile(nil)
+	cand := mkFile(nil)
+	cand.Workloads[0].ExactT = 51
+	r := Diff(base, cand)
+	if !r.Failed() {
+		t.Fatal("exact_t drift did not fail")
+	}
+	if d := findDelta(t, r, "exact_t"); d.Severity != SevFail {
+		t.Errorf("exact_t severity = %s, want fail", d.Severity)
+	}
+
+	cand2 := mkFile(nil)
+	cand2.Workloads[0].KappaApprox = 6
+	if r := Diff(base, cand2); !r.Failed() {
+		t.Fatal("kappa_approx drift did not fail")
+	}
+}
+
+func TestDiffMissingWorkload(t *testing.T) {
+	base := mkFile(nil)
+	cand := &File{Workloads: nil}
+	r := Diff(base, cand)
+	if !r.Failed() {
+		t.Fatal("missing workload did not fail")
+	}
+}
+
+func TestMarkdownRendersRegressionsFirst(t *testing.T) {
+	base := mkFile(map[string]Metric{
+		"a.ok":   {Value: 1, Better: BetterLower, Class: ClassDeterministic, RelTol: 1},
+		"b.bad":  {Value: 10, Better: BetterLower, Class: ClassDeterministic},
+		"c.warn": {Value: 100, Better: BetterLower, Class: ClassTiming},
+	})
+	cand := mkFile(map[string]Metric{
+		"a.ok":   {Value: 1},
+		"b.bad":  {Value: 99},
+		"c.warn": {Value: 500},
+	})
+	r := Diff(base, cand)
+	md := r.Markdown("BENCH_4.json", "candidate.json")
+	iBad := strings.Index(md, "b.bad")
+	iWarn := strings.Index(md, "c.warn")
+	iOK := strings.Index(md, "a.ok")
+	if iBad < 0 || iWarn < 0 || iOK < 0 {
+		t.Fatalf("markdown missing rows:\n%s", md)
+	}
+	if !(iBad < iWarn && iWarn < iOK) {
+		t.Errorf("markdown rows not ordered fail < warn < ok:\n%s", md)
+	}
+	if !strings.Contains(md, "1 hard failure(s)") {
+		t.Errorf("markdown summary line wrong:\n%s", md)
+	}
+}

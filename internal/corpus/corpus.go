@@ -1,0 +1,227 @@
+// Package corpus manages the real-graph benchmark corpus: a small set of
+// public graphs (SNAP-style edge lists: collaboration, social, web, road)
+// that the benchmark trajectory runs on, so the repo demonstrates the
+// paper's central empirical claim — real-world graphs have small degeneracy
+// κ, which is what makes the O(m·κ/T) space bound practical.
+//
+// Each corpus entry names an upstream download plus a deterministic offline
+// stand-in synthesized from internal/gen with pinned seeds. Offline mode
+// (the CI default — CI never touches the network) writes the stand-in under
+// the *same file names* the real fetch would produce, so everything
+// downstream (the bench sweep, BENCH_N.json, benchdiff) is oblivious to
+// which corpus it ran on; the JSON records the source honestly either way.
+//
+// Every cached artifact is SHA-256 checksummed. Offline stand-ins verify
+// against checksums checked into this file (they are bit-deterministic);
+// real downloads verify against their pinned upstream checksum, or are
+// pinned on first fetch with Options.Record (we do not check in sums we
+// could not verify ourselves — see EXPERIMENTS.md).
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"degentri/internal/gen"
+	"degentri/internal/graph"
+)
+
+// Sources of a cached corpus graph.
+const (
+	SourceReal    = "real"
+	SourceStandin = "offline-standin"
+)
+
+// Entry is one corpus graph: where the real file lives, how to verify it,
+// and how to synthesize its deterministic offline stand-in.
+type Entry struct {
+	// Name is the corpus key and the cache file stem (<Name>.bex, <Name>.txt).
+	Name string
+	// Category is the graph's domain: collaboration, social, web, road.
+	Category string
+	// URL is the upstream download (SNAP .txt.gz edge lists).
+	URL string
+	// License describes the upstream terms (all SNAP datasets are free for
+	// research use with citation).
+	License string
+	// RawSHA256 is the pinned checksum of the raw downloaded payload
+	// (before gunzip). Empty means not yet pinned: fetching then requires
+	// Options.Record, which prints the sum to pin here.
+	RawSHA256 string
+	// MaxEdges caps canonicalized edges to a deterministic prefix sample of
+	// the real file (0 = keep all); the road and web graphs are sampled so
+	// the sweep stays CI-sized.
+	MaxEdges int
+	// Standin synthesizes the offline stand-in graph (pinned seeds, fully
+	// deterministic).
+	Standin func() *graph.Graph
+	// StandinSHA256 is the checked-in checksum of the canonical .bex the
+	// stand-in produces; verified on every offline fetch and on cache hits.
+	StandinSHA256 string
+}
+
+// Entries returns the corpus manifest. Stand-in families are chosen to
+// mimic each real graph's degeneracy profile: Holme–Kim preferential
+// attachment for collaboration/web (small κ ≈ attachment k, heavy
+// clustering), Chung–Lu power-law for the e-mail graph, and a planar
+// triangular grid for the road network (κ = 3 class, locally clustered,
+// globally sparse — the paper's favorite regime).
+func Entries() []Entry {
+	return []Entry{
+		{
+			Name:          "ca-GrQc",
+			Category:      "collaboration",
+			URL:           "https://snap.stanford.edu/data/ca-GrQc.txt.gz",
+			License:       "SNAP (free for research; cite Leskovec et al.)",
+			Standin:       func() *graph.Graph { return gen.HolmeKim(5242, 5, 0.7, 0xCA64) },
+			StandinSHA256: "f90fe7b408ea5f7d92706ba5d25fb4084abe899892772acfea38e9b626628eb2",
+		},
+		{
+			Name:          "email-Enron",
+			Category:      "social",
+			URL:           "https://snap.stanford.edu/data/email-Enron.txt.gz",
+			License:       "SNAP (free for research; cite Leskovec et al.)",
+			Standin:       func() *graph.Graph { return gen.ChungLu(36692, 10, 2.2, 0xE2909) },
+			StandinSHA256: "17c3c71a15afe0745ed7040563ea8922b7ed6c406fd286f33d291c0dab7cbda8",
+		},
+		{
+			Name:          "roadNet-PA-sample",
+			Category:      "road",
+			URL:           "https://snap.stanford.edu/data/roadNet-PA.txt.gz",
+			License:       "SNAP (free for research; cite Leskovec et al.)",
+			MaxEdges:      400_000,
+			Standin:       func() *graph.Graph { return gen.TriangularGrid(160, 160) },
+			StandinSHA256: "1eed1d05e78cd298db96a835c4892ee1e5cb97b1a38ec2d2c26d64be8b45ab01",
+		},
+		{
+			Name:          "web-Stanford-sample",
+			Category:      "web",
+			URL:           "https://snap.stanford.edu/data/web-Stanford.txt.gz",
+			License:       "SNAP (free for research; cite Leskovec et al.)",
+			MaxEdges:      400_000,
+			Standin:       func() *graph.Graph { return gen.HolmeKim(15000, 8, 0.6, 0x3EB51) },
+			StandinSHA256: "13acc621987a199958ef0795d3add17ac557e7bf9b98a23d1a4f8e46aa187ecc",
+		},
+	}
+}
+
+// Find returns the entry with the given name.
+func Find(name string) (Entry, bool) {
+	for _, e := range Entries() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ManifestName is the per-cache-directory manifest file.
+const ManifestName = "manifest.json"
+
+// CachedGraph is one fetched graph as recorded in the cache manifest: what
+// downstream consumers (the bench sweep, exp.CorpusSpecs) read instead of
+// re-deriving facts from the corpus table.
+type CachedGraph struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	// Source is SourceReal or SourceStandin.
+	Source string `json:"source"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Bex and Text are cache-relative file names.
+	Bex  string `json:"bex"`
+	Text string `json:"text"`
+	// BexSHA256 is the checksum of the canonical .bex as written.
+	BexSHA256 string `json:"sha256_bex"`
+	// RawSHA256 is the checksum of the raw download (real source only).
+	RawSHA256 string `json:"sha256_raw,omitempty"`
+	URL       string `json:"url,omitempty"`
+	License   string `json:"license,omitempty"`
+}
+
+// Manifest is the cache directory's index of fetched graphs.
+type Manifest struct {
+	SchemaVersion int           `json:"schema_version"`
+	Graphs        []CachedGraph `json:"graphs"`
+}
+
+// ManifestSchemaVersion versions the cache manifest independently of the
+// BENCH schema.
+const ManifestSchemaVersion = 1
+
+// ReadManifest loads the manifest of a cache directory. A missing manifest
+// returns an empty one (fresh cache), not an error.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return &Manifest{SchemaVersion: ManifestSchemaVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corpus: parse %s: %w", ManifestName, err)
+	}
+	if m.SchemaVersion != ManifestSchemaVersion {
+		return nil, fmt.Errorf("corpus: %s schema version %d, want %d",
+			ManifestName, m.SchemaVersion, ManifestSchemaVersion)
+	}
+	return &m, nil
+}
+
+// WriteManifest writes the manifest (sorted by name, stable bytes).
+func WriteManifest(dir string, m *Manifest) error {
+	m.SchemaVersion = ManifestSchemaVersion
+	sort.Slice(m.Graphs, func(i, j int) bool { return m.Graphs[i].Name < m.Graphs[j].Name })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// Graph returns the cached graph with the given name.
+func (m *Manifest) Graph(name string) (CachedGraph, bool) {
+	for _, g := range m.Graphs {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return CachedGraph{}, false
+}
+
+// upsert replaces or appends the cached-graph record.
+func (m *Manifest) upsert(g CachedGraph) {
+	for i := range m.Graphs {
+		if m.Graphs[i].Name == g.Name {
+			m.Graphs[i] = g
+			return
+		}
+	}
+	m.Graphs = append(m.Graphs, g)
+}
+
+// FileSHA256 returns the hex SHA-256 of a file's contents.
+func FileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,305 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+func TestCanonicalize(t *testing.T) {
+	in := strings.Join([]string{
+		"# Directed graph: test",
+		"% another comment style",
+		"",
+		"10\t20",
+		"20\t10",      // reverse duplicate: dropped
+		"10\t10",      // self-loop: dropped
+		"  30 10 ",    // leading/trailing space, space-separated
+		"20\t30\t999", // trailing column ignored
+		"40 50",
+	}, "\n") + "\n"
+	edges, err := Canonicalize(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 0}, {U: 1, V: 2}, {U: 3, V: 4}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges %v, want %d %v", len(edges), edges, len(want), want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestCanonicalizeMaxEdges(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i, i+1)
+	}
+	edges, err := Canonicalize(strings.NewReader(b.String()), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 10 {
+		t.Fatalf("prefix cap kept %d edges, want 10", len(edges))
+	}
+}
+
+func TestCanonicalizeMalformed(t *testing.T) {
+	for _, in := range []string{"1 x\n", "justone\n", "1\n"} {
+		if _, err := Canonicalize(strings.NewReader(in), 0); err == nil {
+			t.Errorf("Canonicalize(%q) accepted malformed input", in)
+		}
+	}
+}
+
+// testEntry is a tiny corpus entry pointed at an httptest server.
+func testEntry(name, rawSHA string) Entry {
+	return Entry{
+		Name:      name,
+		Category:  "test",
+		URL:       "http://upstream.invalid/data/" + name + ".txt.gz",
+		RawSHA256: rawSHA,
+		Standin:   func() *graph.Graph { panic("offline not used here") },
+	}
+}
+
+// gzBytes gzips a text edge list.
+func gzBytes(t *testing.T, text string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sha256Hex(b []byte) string {
+	sum, _ := FileSHA256(writeTemp(b))
+	return sum
+}
+
+var tempSeq int
+
+func writeTemp(b []byte) string {
+	tempSeq++
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("corpus-test-%d-%d", os.Getpid(), tempSeq))
+	_ = os.WriteFile(path, b, 0o644)
+	return path
+}
+
+func TestDownloadVerifiesChecksum(t *testing.T) {
+	payload := gzBytes(t, "1 2\n2 3\n3 1\n")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	good := testEntry("good", sha256Hex(payload))
+	st, err := download(good, &Options{CacheDir: dir, Client: srv.Client(), BaseURL: srv.URL})
+	if err != nil {
+		t.Fatalf("download with matching checksum: %v", err)
+	}
+	if st.Cached.M != 3 || st.Cached.Source != SourceReal {
+		t.Errorf("cached record wrong: %+v", st.Cached)
+	}
+	if !fileExists(filepath.Join(dir, "good.bex")) || !fileExists(filepath.Join(dir, "good.txt")) {
+		t.Error("cache files not written")
+	}
+
+	// Checksum mismatch must fail and leave no cache files behind.
+	bad := testEntry("bad", strings.Repeat("0", 64))
+	_, err = download(bad, &Options{CacheDir: dir, Client: srv.Client(), BaseURL: srv.URL})
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("mismatched checksum error = %v, want checksum mismatch", err)
+	}
+	if fileExists(filepath.Join(dir, "bad.bex")) || fileExists(filepath.Join(dir, "bad.txt")) {
+		t.Error("checksum-mismatch download left cache files behind")
+	}
+}
+
+func TestDownloadUnpinnedRequiresRecord(t *testing.T) {
+	payload := gzBytes(t, "1 2\n")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	e := testEntry("unpinned", "")
+	_, err := download(e, &Options{CacheDir: t.TempDir(), Client: srv.Client(), BaseURL: srv.URL})
+	if err == nil || !strings.Contains(err.Error(), "-record") {
+		t.Fatalf("unpinned fetch without -record: err = %v, want refusal", err)
+	}
+	// With Record it proceeds (trust-on-first-use).
+	if _, err := download(e, &Options{CacheDir: t.TempDir(), Client: srv.Client(), BaseURL: srv.URL, Record: true}); err != nil {
+		t.Fatalf("unpinned fetch with Record: %v", err)
+	}
+}
+
+func TestDownloadPartialBody(t *testing.T) {
+	payload := gzBytes(t, strings.Repeat("1 2\n3 4\n", 4096))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Declare the full length but send half and die: a truncated
+		// transfer, as a flaky mirror would produce.
+		w.Header().Set("Content-Length", fmt.Sprint(len(payload)))
+		w.Write(payload[:len(payload)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		conn, _, _ := w.(http.Hijacker).Hijack()
+		conn.Close()
+	}))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	e := testEntry("partial", sha256Hex(payload))
+	_, err := download(e, &Options{CacheDir: dir, Client: srv.Client(), BaseURL: srv.URL})
+	if err == nil {
+		t.Fatal("partial download did not error")
+	}
+	if fileExists(filepath.Join(dir, "partial.bex")) {
+		t.Error("partial download left a cache file behind")
+	}
+}
+
+func TestDownloadTruncatedGzip(t *testing.T) {
+	payload := gzBytes(t, strings.Repeat("5 6\n7 8\n", 1024))
+	truncated := payload[:len(payload)/2] // valid header, cut mid-stream
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(truncated)
+	}))
+	defer srv.Close()
+
+	e := testEntry("gztrunc", sha256Hex(truncated))
+	_, err := download(e, &Options{CacheDir: t.TempDir(), Client: srv.Client(), BaseURL: srv.URL})
+	if err == nil {
+		t.Fatal("truncated gzip stream did not error")
+	}
+}
+
+func TestOfflineFetchDeterministicAndCached(t *testing.T) {
+	dir := t.TempDir()
+	var log bytes.Buffer
+	logf := func(format string, args ...any) { fmt.Fprintf(&log, format+"\n", args...) }
+
+	sts, err := Fetch(Options{CacheDir: dir, Offline: true, Only: []string{"ca-GrQc"}, Log: logf})
+	if err != nil {
+		t.Fatalf("offline fetch: %v", err)
+	}
+	if len(sts) != 1 || sts[0].FromCache {
+		t.Fatalf("first fetch: %+v", sts)
+	}
+	e, _ := Find("ca-GrQc")
+	if sts[0].Cached.BexSHA256 != e.StandinSHA256 {
+		t.Errorf("stand-in sha = %s, want pinned %s", sts[0].Cached.BexSHA256, e.StandinSHA256)
+	}
+
+	// Second run must be a verified cache hit.
+	sts2, err := Fetch(Options{CacheDir: dir, Offline: true, Only: []string{"ca-GrQc"}, Log: logf})
+	if err != nil {
+		t.Fatalf("second offline fetch: %v", err)
+	}
+	if !sts2[0].FromCache {
+		t.Error("second fetch did not hit the cache")
+	}
+
+	// Corrupt the cached .bex: the next fetch must detect and regenerate.
+	bexPath := filepath.Join(dir, "ca-GrQc.bex")
+	data, _ := os.ReadFile(bexPath)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(bexPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sts3, err := Fetch(Options{CacheDir: dir, Offline: true, Only: []string{"ca-GrQc"}, Log: logf})
+	if err != nil {
+		t.Fatalf("fetch over corrupted cache: %v", err)
+	}
+	if sts3[0].FromCache {
+		t.Error("corrupted cache was served as a hit")
+	}
+	sum, _ := FileSHA256(bexPath)
+	if sum != e.StandinSHA256 {
+		t.Error("regenerated cache file does not match the pinned checksum")
+	}
+
+	// The manifest must record the graph with its facts.
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := man.Graph("ca-GrQc")
+	if !ok || g.Source != SourceStandin || g.N == 0 || g.M == 0 {
+		t.Errorf("manifest record wrong: %+v", g)
+	}
+
+	// Text and .bex cache files must contain the identical edge sequence
+	// (that is what makes their estimates bit-identical).
+	bexEdges, err := stream.Collect(mustOpen(t, bexPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txtEdges, err := stream.Collect(mustOpen(t, filepath.Join(dir, "ca-GrQc.txt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bexEdges) != len(txtEdges) {
+		t.Fatalf("bex has %d edges, txt %d", len(bexEdges), len(txtEdges))
+	}
+	for i := range bexEdges {
+		if bexEdges[i] != txtEdges[i] {
+			t.Fatalf("edge %d differs between .bex (%v) and .txt (%v)", i, bexEdges[i], txtEdges[i])
+		}
+	}
+}
+
+func mustOpen(t *testing.T, path string) stream.Stream {
+	t.Helper()
+	s, err := stream.OpenAuto(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFetchUnknownEntry(t *testing.T) {
+	_, err := Fetch(Options{CacheDir: t.TempDir(), Offline: true, Only: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown entry") {
+		t.Fatalf("unknown entry error = %v", err)
+	}
+}
+
+func TestEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Entries() {
+		if e.Name == "" || e.Category == "" || e.URL == "" || e.License == "" {
+			t.Errorf("entry %q incomplete: %+v", e.Name, e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate entry name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Standin == nil || len(e.StandinSHA256) != 64 {
+			t.Errorf("entry %q has no offline stand-in contract", e.Name)
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("corpus has %d entries; the error-vs-ε acceptance needs at least 3", len(seen))
+	}
+}

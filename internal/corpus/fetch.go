@@ -1,0 +1,249 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"degentri/internal/graph"
+	"degentri/internal/stream"
+)
+
+// Options configures a fetch run.
+type Options struct {
+	// CacheDir is where canonical .bex/.txt files and the manifest live.
+	CacheDir string
+	// Offline synthesizes the deterministic stand-in corpus instead of
+	// downloading — same file names, pinned seeds, checked-in checksums.
+	// CI and airgapped runs always use this.
+	Offline bool
+	// Only restricts the run to the named entries (nil = all).
+	Only []string
+	// Force refetches/regenerates even when the cache already verifies.
+	Force bool
+	// Record pins the raw checksum of a real download whose manifest entry
+	// has none (trust-on-first-use); without it, an unpinned entry refuses
+	// to fetch online.
+	Record bool
+	// Client is the HTTP client for real downloads (nil = a default with a
+	// 5-minute timeout). Tests point this at an httptest server via
+	// BaseURL.
+	Client *http.Client
+	// BaseURL, when non-empty, replaces the scheme+host of every entry URL
+	// (tests), keeping the path.
+	BaseURL string
+	// Log receives one-line progress messages (nil = discard).
+	Log func(format string, args ...any)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Status of one entry after a fetch run.
+type Status struct {
+	Entry  Entry
+	Cached CachedGraph
+	// FromCache is true when the existing cache verified and was reused.
+	FromCache bool
+}
+
+// Fetch ensures every requested corpus entry is present and checksum-valid
+// in the cache directory, downloading (online) or synthesizing (offline) as
+// needed, and updates the cache manifest. It returns one Status per entry
+// processed, in manifest order.
+func Fetch(opts Options) ([]Status, error) {
+	if opts.CacheDir == "" {
+		return nil, fmt.Errorf("corpus: cache directory required")
+	}
+	if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	manifest, err := ReadManifest(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+
+	only := map[string]bool{}
+	for _, name := range opts.Only {
+		if _, ok := Find(name); !ok {
+			return nil, fmt.Errorf("corpus: unknown entry %q", name)
+		}
+		only[name] = true
+	}
+
+	var statuses []Status
+	for _, e := range Entries() {
+		if len(only) > 0 && !only[e.Name] {
+			continue
+		}
+		st, err := fetchOne(e, manifest, &opts)
+		if err != nil {
+			return statuses, err
+		}
+		manifest.upsert(st.Cached)
+		statuses = append(statuses, st)
+	}
+	if err := WriteManifest(opts.CacheDir, manifest); err != nil {
+		return statuses, err
+	}
+	return statuses, nil
+}
+
+// fetchOne brings a single entry up to date in the cache.
+func fetchOne(e Entry, manifest *Manifest, opts *Options) (Status, error) {
+	wantSource := SourceReal
+	if opts.Offline {
+		wantSource = SourceStandin
+	}
+
+	// Cache hit: files present, manifest agrees on source, .bex checksum
+	// verifies (against the checked-in stand-in sum offline, the recorded
+	// sum online).
+	if !opts.Force {
+		if cached, ok := manifest.Graph(e.Name); ok && cached.Source == wantSource {
+			bexPath := filepath.Join(opts.CacheDir, cached.Bex)
+			txtPath := filepath.Join(opts.CacheDir, cached.Text)
+			if fileExists(bexPath) && fileExists(txtPath) {
+				sum, err := FileSHA256(bexPath)
+				if err == nil && sum == cached.BexSHA256 && verifyExpected(e, opts, sum) == nil {
+					opts.logf("%-22s cached (%s, %s)", e.Name, cached.Source, cached.Bex)
+					return Status{Entry: e, Cached: cached, FromCache: true}, nil
+				}
+				opts.logf("%-22s cache invalid, refetching", e.Name)
+			}
+		}
+	}
+
+	if opts.Offline {
+		return synthesizeStandin(e, opts)
+	}
+	return download(e, opts)
+}
+
+// verifyExpected checks a cached .bex checksum against the checked-in
+// expectation, when one exists (offline stand-ins always have one).
+func verifyExpected(e Entry, opts *Options, sum string) error {
+	if opts.Offline && e.StandinSHA256 != "" && sum != e.StandinSHA256 {
+		return fmt.Errorf("corpus: %s: stand-in checksum mismatch: got %s, want %s",
+			e.Name, sum, e.StandinSHA256)
+	}
+	return nil
+}
+
+// download fetches, verifies, and canonicalizes one real graph.
+func download(e Entry, opts *Options) (Status, error) {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	url := e.URL
+	if opts.BaseURL != "" {
+		if i := strings.Index(url, "//"); i >= 0 {
+			if j := strings.IndexByte(url[i+2:], '/'); j >= 0 {
+				url = strings.TrimRight(opts.BaseURL, "/") + url[i+2+j:]
+			}
+		}
+	}
+	if e.RawSHA256 == "" && !opts.Record {
+		return Status{}, fmt.Errorf("corpus: %s has no pinned upstream checksum; "+
+			"rerun with -record to pin it on first fetch (trust-on-first-use)", e.Name)
+	}
+
+	opts.logf("%-22s downloading %s", e.Name, url)
+	resp, err := client.Get(url)
+	if err != nil {
+		return Status{}, fmt.Errorf("corpus: fetch %s: %w", e.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("corpus: fetch %s: HTTP %s", e.Name, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Partial download: Content-Length mismatch or mid-body error.
+		return Status{}, fmt.Errorf("corpus: fetch %s: %w", e.Name, err)
+	}
+	if resp.ContentLength >= 0 && int64(len(raw)) != resp.ContentLength {
+		return Status{}, fmt.Errorf("corpus: fetch %s: truncated download: got %d bytes, want %d",
+			e.Name, len(raw), resp.ContentLength)
+	}
+
+	sum := sha256.Sum256(raw)
+	rawSHA := hex.EncodeToString(sum[:])
+	if e.RawSHA256 != "" && rawSHA != e.RawSHA256 {
+		return Status{}, fmt.Errorf("corpus: %s: checksum mismatch: got %s, want %s",
+			e.Name, rawSHA, e.RawSHA256)
+	}
+	if e.RawSHA256 == "" {
+		opts.logf("%-22s pinned raw sha256 %s (add to corpus.Entries to check in)", e.Name, rawSHA)
+	}
+
+	var body io.Reader = bytes.NewReader(raw)
+	if strings.HasSuffix(url, ".gz") || (len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b) {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return Status{}, fmt.Errorf("corpus: %s: gunzip: %w", e.Name, err)
+		}
+		defer gz.Close()
+		body = gz
+	}
+	edges, err := Canonicalize(body, e.MaxEdges)
+	if err != nil {
+		return Status{}, fmt.Errorf("corpus: %s: %w", e.Name, err)
+	}
+	return finishEntry(e, opts, edges, SourceReal, rawSHA)
+}
+
+// synthesizeStandin generates the deterministic offline stand-in.
+func synthesizeStandin(e Entry, opts *Options) (Status, error) {
+	opts.logf("%-22s synthesizing offline stand-in", e.Name)
+	g := e.Standin()
+	edges, err := stream.Collect(stream.FromGraph(g))
+	if err != nil {
+		return Status{}, fmt.Errorf("corpus: %s: %w", e.Name, err)
+	}
+	st, err := finishEntry(e, opts, edges, SourceStandin, "")
+	if err != nil {
+		return Status{}, err
+	}
+	if e.StandinSHA256 != "" && st.Cached.BexSHA256 != e.StandinSHA256 {
+		return Status{}, fmt.Errorf("corpus: %s: stand-in checksum mismatch: got %s, want %s "+
+			"(the generator or the .bex codec changed; re-pin deliberately)",
+			e.Name, st.Cached.BexSHA256, e.StandinSHA256)
+	}
+	return st, nil
+}
+
+// finishEntry writes the canonical cache files and builds the manifest record.
+func finishEntry(e Entry, opts *Options, edges []graph.Edge, source, rawSHA string) (Status, error) {
+	bexSHA, err := writeCanonical(opts.CacheDir, e.Name, edges)
+	if err != nil {
+		return Status{}, err
+	}
+	n, m := edgeFacts(edges)
+	cached := CachedGraph{
+		Name: e.Name, Category: e.Category, Source: source,
+		N: n, M: m,
+		Bex: e.Name + stream.BexExt, Text: e.Name + ".txt",
+		BexSHA256: bexSHA, RawSHA256: rawSHA,
+		URL: e.URL, License: e.License,
+	}
+	opts.logf("%-22s wrote %s (n=%d, m=%d, sha256=%s…)", e.Name, cached.Bex, n, m, bexSHA[:12])
+	return Status{Entry: e, Cached: cached}, nil
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}

@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"degentri/internal/corpus"
 	"degentri/internal/gen"
 	"degentri/internal/graph"
 	"degentri/internal/stream"
@@ -46,6 +48,85 @@ func (s Scale) pick(smoke, def, full int) int {
 	}
 }
 
+// SourceGenerator marks workloads built by internal/gen; corpus-backed
+// workloads carry corpus.SourceReal or corpus.SourceStandin instead.
+const SourceGenerator = "generator"
+
+// Spec declares one workload before it is loaded: either a generator recipe
+// (Build) or a file-backed corpus graph (Path). The E-experiments and the
+// bench sweep share these declarations — one table defines a workload, and
+// Load turns it into a Workload with its ground truth computed, wherever the
+// edges come from.
+type Spec struct {
+	// Name is the workload key (for corpus specs, the corpus entry name).
+	Name string
+	// Category is the graph's domain (corpus specs only; empty for
+	// generators).
+	Category string
+	// Source is SourceGenerator, corpus.SourceReal, or corpus.SourceStandin.
+	Source string
+	// StreamSeed seeds the per-trial stream shuffles of Workload.Stream.
+	StreamSeed uint64
+	// Build synthesizes the graph at a given scale (generator specs).
+	Build func(scale Scale) *graph.Graph
+	// Path is the cached edge file (.bex or .txt) of a corpus spec; its
+	// canonical order is also the workload's file stream order.
+	Path string
+}
+
+// Load materializes the spec into a Workload with ground truth (m, n, exact
+// T, κ, max degree) computed. File-backed specs read their cache file; the
+// scale only affects generator specs.
+func (s Spec) Load(scale Scale) (Workload, error) {
+	var g *graph.Graph
+	switch {
+	case s.Path != "":
+		src, err := stream.OpenAuto(s.Path)
+		if err != nil {
+			return Workload{}, fmt.Errorf("exp: load %s: %w", s.Name, err)
+		}
+		g, err = stream.Materialize(src)
+		src.Close()
+		if err != nil {
+			return Workload{}, fmt.Errorf("exp: load %s: %w", s.Name, err)
+		}
+	case s.Build != nil:
+		g = s.Build(scale)
+	default:
+		return Workload{}, fmt.Errorf("exp: spec %q has neither Build nor Path", s.Name)
+	}
+	w := NewWorkload(s.Name, g, s.StreamSeed)
+	w.Category = s.Category
+	w.Source = s.Source
+	if w.Source == "" {
+		w.Source = SourceGenerator
+	}
+	w.Path = s.Path
+	return w, nil
+}
+
+// LoadAll loads every spec at the given scale.
+func LoadAll(specs []Spec, scale Scale) ([]Workload, error) {
+	ws := make([]Workload, 0, len(specs))
+	for _, s := range specs {
+		w, err := s.Load(scale)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// mustLoadAll loads generator-backed specs, which cannot fail (no I/O).
+func mustLoadAll(specs []Spec, scale Scale) []Workload {
+	ws, err := LoadAll(specs, scale)
+	if err != nil {
+		panic(err)
+	}
+	return ws
+}
+
 // Workload is one benchmark graph with its ground truth precomputed.
 type Workload struct {
 	Name       string
@@ -56,6 +137,12 @@ type Workload struct {
 	Kappa      int
 	MaxDegree  int
 	StreamSeed uint64
+	// Category, Source, and Path carry the provenance of corpus-backed
+	// workloads (empty/SourceGenerator for generated ones). Path is the
+	// cached .bex the bench sweep scans directly.
+	Category string
+	Source   string
+	Path     string
 }
 
 // NewWorkload computes the ground truth of a generated graph.
@@ -69,6 +156,7 @@ func NewWorkload(name string, g *graph.Graph, streamSeed uint64) Workload {
 		Kappa:      g.Degeneracy(),
 		MaxDegree:  g.MaxDegree(),
 		StreamSeed: streamSeed,
+		Source:     SourceGenerator,
 	}
 }
 
@@ -88,63 +176,136 @@ func (w Workload) TheoreticalBound() float64 {
 	return float64(w.M) * float64(w.Kappa) / float64(w.T)
 }
 
-// StandardWorkloads returns the mixed suite used by the comparison
-// experiments: low-degeneracy/high-triangle graphs (the paper's target
-// regime) across several families.
-func StandardWorkloads(scale Scale) []Workload {
-	n := scale.pick(800, 8000, 60000)
-	ba := scale.pick(1000, 10000, 80000)
-	cl := scale.pick(1500, 12000, 80000)
-	return []Workload{
-		NewWorkload("wheel", gen.Wheel(n), 11),
-		NewWorkload("apollonian", gen.Apollonian(n), 12),
-		NewWorkload("triangular-grid", gen.TriangularGrid(isqrt(n), isqrt(n)), 13),
-		NewWorkload("pref-attach-k4", gen.HolmeKim(ba, 4, 0.7, 101), 14),
-		NewWorkload("pref-attach-k8", gen.HolmeKim(ba, 8, 0.7, 102), 15),
-		NewWorkload("chung-lu-2.5", gen.ChungLu(cl, 8, 2.5, 103), 16),
+// StandardSpecs is the mixed suite used by the comparison experiments:
+// low-degeneracy/high-triangle graphs (the paper's target regime) across
+// several families. One definition, consumed by both the E-experiments
+// (StandardWorkloads) and anything that wants to mix generated and corpus
+// workloads.
+func StandardSpecs() []Spec {
+	return []Spec{
+		{Name: "wheel", StreamSeed: 11, Build: func(sc Scale) *graph.Graph {
+			return gen.Wheel(sc.pick(800, 8000, 60000))
+		}},
+		{Name: "apollonian", StreamSeed: 12, Build: func(sc Scale) *graph.Graph {
+			return gen.Apollonian(sc.pick(800, 8000, 60000))
+		}},
+		{Name: "triangular-grid", StreamSeed: 13, Build: func(sc Scale) *graph.Graph {
+			side := isqrt(sc.pick(800, 8000, 60000))
+			return gen.TriangularGrid(side, side)
+		}},
+		{Name: "pref-attach-k4", StreamSeed: 14, Build: func(sc Scale) *graph.Graph {
+			return gen.HolmeKim(sc.pick(1000, 10000, 80000), 4, 0.7, 101)
+		}},
+		{Name: "pref-attach-k8", StreamSeed: 15, Build: func(sc Scale) *graph.Graph {
+			return gen.HolmeKim(sc.pick(1000, 10000, 80000), 8, 0.7, 102)
+		}},
+		{Name: "chung-lu-2.5", StreamSeed: 16, Build: func(sc Scale) *graph.Graph {
+			return gen.ChungLu(sc.pick(1500, 12000, 80000), 8, 2.5, 103)
+		}},
 	}
 }
 
-// WheelWorkloads returns wheel graphs of increasing size (experiment E3).
-func WheelWorkloads(scale Scale) []Workload {
+// StandardWorkloads loads StandardSpecs at the given scale.
+func StandardWorkloads(scale Scale) []Workload {
+	return mustLoadAll(StandardSpecs(), scale)
+}
+
+// WheelSpecs returns wheel graphs of increasing size (experiment E3). The
+// list length is scale-dependent, so unlike StandardSpecs it takes the scale
+// up front.
+func WheelSpecs(scale Scale) []Spec {
 	sizes := map[Scale][]int{
 		ScaleSmoke:   {100, 400, 1600},
 		ScaleDefault: {1000, 4000, 16000, 64000},
 		ScaleFull:    {1000, 10000, 100000, 1000000},
 	}[scale]
-	var ws []Workload
+	var specs []Spec
 	for i, n := range sizes {
-		ws = append(ws, NewWorkload(fmt.Sprintf("wheel-%d", n), gen.Wheel(n), uint64(21+i)))
+		n := n
+		specs = append(specs, Spec{
+			Name:       fmt.Sprintf("wheel-%d", n),
+			StreamSeed: uint64(21 + i),
+			Build:      func(Scale) *graph.Graph { return gen.Wheel(n) },
+		})
 	}
-	return ws
+	return specs
 }
 
-// KappaSweepWorkloads returns preferential-attachment graphs with fixed n and
+// WheelWorkloads loads WheelSpecs.
+func WheelWorkloads(scale Scale) []Workload {
+	return mustLoadAll(WheelSpecs(scale), scale)
+}
+
+// KappaSweepSpecs returns preferential-attachment graphs with fixed n and
 // increasing attachment parameter k ≈ κ (experiment E9).
-func KappaSweepWorkloads(scale Scale) []Workload {
-	n := scale.pick(1200, 8000, 40000)
+func KappaSweepSpecs(scale Scale) []Spec {
 	ks := []int{2, 4, 8, 16, 32}
 	if scale == ScaleSmoke {
 		ks = []int{2, 4, 8}
 	}
-	var ws []Workload
+	var specs []Spec
 	for i, k := range ks {
-		ws = append(ws, NewWorkload(fmt.Sprintf("pa-k%d", k), gen.HolmeKim(n, k, 0.7, uint64(300+k)), uint64(31+i)))
+		k := k
+		specs = append(specs, Spec{
+			Name:       fmt.Sprintf("pa-k%d", k),
+			StreamSeed: uint64(31 + i),
+			Build: func(sc Scale) *graph.Graph {
+				return gen.HolmeKim(sc.pick(1200, 8000, 40000), k, 0.7, uint64(300+k))
+			},
+		})
 	}
-	return ws
+	return specs
 }
 
-// SkewedWorkloads returns graphs with a large gap between maximum degree and
+// KappaSweepWorkloads loads KappaSweepSpecs.
+func KappaSweepWorkloads(scale Scale) []Workload {
+	return mustLoadAll(KappaSweepSpecs(scale), scale)
+}
+
+// SkewedSpecs returns graphs with a large gap between maximum degree and
 // degeneracy (experiment E10): stars plus planted triangles and book graphs.
-func SkewedWorkloads(scale Scale) []Workload {
-	leaves := scale.pick(2000, 20000, 200000)
-	tris := scale.pick(100, 1000, 10000)
-	pages := scale.pick(1000, 10000, 100000)
-	return []Workload{
-		NewWorkload("star+triangles", gen.StarPlusTriangles(leaves, tris), 41),
-		NewWorkload("book", gen.Book(pages), 42),
-		NewWorkload("planted-book", gen.PlantedBook(pages+2, 2*pages, pages/2, 43), 43),
+func SkewedSpecs() []Spec {
+	return []Spec{
+		{Name: "star+triangles", StreamSeed: 41, Build: func(sc Scale) *graph.Graph {
+			return gen.StarPlusTriangles(sc.pick(2000, 20000, 200000), sc.pick(100, 1000, 10000))
+		}},
+		{Name: "book", StreamSeed: 42, Build: func(sc Scale) *graph.Graph {
+			return gen.Book(sc.pick(1000, 10000, 100000))
+		}},
+		{Name: "planted-book", StreamSeed: 43, Build: func(sc Scale) *graph.Graph {
+			pages := sc.pick(1000, 10000, 100000)
+			return gen.PlantedBook(pages+2, 2*pages, pages/2, 43)
+		}},
 	}
+}
+
+// SkewedWorkloads loads SkewedSpecs at the given scale.
+func SkewedWorkloads(scale Scale) []Workload {
+	return mustLoadAll(SkewedSpecs(), scale)
+}
+
+// CorpusSpecs returns one file-backed spec per graph in a corpus cache
+// directory (as written by graphfetch), in manifest order (sorted by name).
+// An empty cache is an error: the caller forgot to run graphfetch.
+func CorpusSpecs(dir string) ([]Spec, error) {
+	man, err := corpus.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(man.Graphs) == 0 {
+		return nil, fmt.Errorf("exp: corpus cache %s is empty; run graphfetch (or graphfetch -offline) first", dir)
+	}
+	specs := make([]Spec, 0, len(man.Graphs))
+	for i, g := range man.Graphs {
+		specs = append(specs, Spec{
+			Name:       g.Name,
+			Category:   g.Category,
+			Source:     g.Source,
+			StreamSeed: uint64(51 + i),
+			Path:       filepath.Join(dir, g.Bex),
+		})
+	}
+	return specs, nil
 }
 
 func isqrt(n int) int {
