@@ -1,9 +1,12 @@
 // Command graphgen generates the synthetic graph families used by the
 // experiments and writes them as edge-list files consumable by trianglecount
 // and by any other edge-list tool. Outputs ending in .bex are written in the
-// binary edge format (length-prefixed int32 pairs), which parses an order of
-// magnitude faster and supports sharded parallel passes natively; -convert
-// translates an existing file between the text and binary formats.
+// block-indexed compressed binary format (.bex v2), which parses an order of
+// magnitude faster than text and supports sharded parallel passes natively;
+// .bexd outputs become sharded multi-file directories. -format overrides the
+// extension-based choice (bex1 selects the legacy flat int32-pair format),
+// and -convert translates an existing file or directory between any of the
+// formats.
 //
 // Usage:
 //
@@ -12,6 +15,8 @@
 //	graphgen -family chunglu -n 50000 -avgdeg 8 -beta 2.5 -out cl.txt
 //	graphgen -family book -pages 10000 -out book.txt
 //	graphgen -convert ba.txt -out ba.bex
+//	graphgen -convert ba.bex -format bexd -out ba.bexd
+//	graphgen -convert old.bex -format bex1 -out legacy.bex
 //
 // Exit codes: 0 success; 1 internal error; 2 usage error; 3 I/O error
 // (missing, unreadable, truncated, or corrupt input, or an unwritable
@@ -34,17 +39,19 @@ import (
 
 func main() {
 	var (
-		family  = flag.String("family", "wheel", "graph family: wheel, book, friendship, apollonian, grid, tri-grid, complete, ba, chunglu, gnm, star-triangles, lowerbound-ish")
-		n       = flag.Int("n", 10000, "number of vertices (or insertions/pages where noted)")
-		k       = flag.Int("k", 4, "attachment parameter / part size / triangles")
-		pages   = flag.Int("pages", 1000, "pages for the book family")
-		avgdeg  = flag.Float64("avgdeg", 8, "average degree for chunglu")
-		beta    = flag.Float64("beta", 2.5, "power-law exponent for chunglu")
-		m       = flag.Int("m", 0, "edge count for gnm (default 4n)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output path (default stdout); .bex suffix selects the binary format")
-		convert = flag.String("convert", "", "convert this edge file (text or .bex) to -out instead of generating")
-		version = flag.Bool("version", false, "print version and exit")
+		family     = flag.String("family", "wheel", "graph family: wheel, book, friendship, apollonian, grid, tri-grid, complete, ba, chunglu, gnm, star-triangles, lowerbound-ish")
+		n          = flag.Int("n", 10000, "number of vertices (or insertions/pages where noted)")
+		k          = flag.Int("k", 4, "attachment parameter / part size / triangles")
+		pages      = flag.Int("pages", 1000, "pages for the book family")
+		avgdeg     = flag.Float64("avgdeg", 8, "average degree for chunglu")
+		beta       = flag.Float64("beta", 2.5, "power-law exponent for chunglu")
+		m          = flag.Int("m", 0, "edge count for gnm (default 4n)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "", "output path (default stdout); .bex selects the binary format, .bexd the sharded directory layout")
+		format     = flag.String("format", "auto", "output format: auto (by extension), text, bex1, bex2, bexd")
+		blockEdges = flag.Int("block-edges", 0, "edges per .bex v2 block (default 8192)")
+		convert    = flag.String("convert", "", "convert this edge file (text, .bex, or .bexd) to -out instead of generating")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -60,18 +67,7 @@ func main() {
 		src, err := stream.OpenAuto(*convert)
 		exitOn(err)
 		defer src.Close()
-		var edges int
-		if strings.HasSuffix(strings.ToLower(*out), stream.BexExt) {
-			edges, err = stream.WriteBexFile(*out, src)
-		} else {
-			var file *os.File
-			file, err = os.Create(*out)
-			exitOn(err)
-			edges, err = stream.WriteEdgeList(file, src)
-			if cerr := file.Close(); err == nil {
-				err = cerr
-			}
-		}
+		edges, err := writeOut(*out, src, *format, *blockEdges)
 		exitOn(err)
 		fmt.Printf("converted %s -> %s (%d edges)\n", *convert, *out, edges)
 		return
@@ -112,21 +108,64 @@ func main() {
 
 	comment := fmt.Sprintf("family=%s n=%d seed=%d degeneracy=%d triangles=%d",
 		*family, g.NumVertices(), *seed, g.Degeneracy(), g.TriangleCount())
-	switch {
-	case *out == "":
+	if *out == "" {
 		if _, err := stream.WriteEdgeList(os.Stdout, stream.FromGraph(g)); err != nil {
 			fmt.Fprintln(os.Stderr, "graphgen:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "# "+comment)
 		return
-	case strings.HasSuffix(strings.ToLower(*out), stream.BexExt):
-		_, err := stream.WriteBexFile(*out, stream.FromGraph(g))
-		exitOn(err)
-	default:
+	}
+	if resolveFormat(*format, *out) == "text" {
 		exitOn(stream.WriteGraphFile(*out, g, comment))
+	} else {
+		_, err := writeOut(*out, stream.FromGraph(g), *format, *blockEdges)
+		exitOn(err)
 	}
 	fmt.Printf("wrote %s: %s\n", *out, comment)
+}
+
+// resolveFormat maps the -format flag (and, for "auto", the output path's
+// extension) to a concrete format name.
+func resolveFormat(format, out string) string {
+	if format != "auto" {
+		return format
+	}
+	lower := strings.ToLower(out)
+	switch {
+	case strings.HasSuffix(lower, stream.BexdExt):
+		return "bexd"
+	case strings.HasSuffix(lower, stream.BexExt):
+		return "bex2"
+	default:
+		return "text"
+	}
+}
+
+// writeOut writes the stream to out in the resolved format.
+func writeOut(out string, s stream.Stream, format string, blockEdges int) (int, error) {
+	switch resolveFormat(format, out) {
+	case "text":
+		file, err := os.Create(out)
+		if err != nil {
+			return 0, err
+		}
+		edges, err := stream.WriteEdgeList(file, s)
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		return edges, err
+	case "bex1":
+		return stream.WriteBexFile(out, s)
+	case "bex2":
+		return stream.WriteBex2File(out, s, blockEdges)
+	case "bexd":
+		return stream.WriteBexd(out, s, blockEdges, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", format)
+		os.Exit(2)
+		return 0, nil
+	}
 }
 
 func exitOn(err error) {
@@ -134,6 +173,7 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		var perr *fs.PathError
 		if errors.Is(err, stream.ErrTruncated) || errors.Is(err, stream.ErrCorruptHeader) ||
+			errors.Is(err, stream.ErrCorruptBlock) ||
 			errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) || errors.As(err, &perr) {
 			os.Exit(3)
 		}

@@ -55,6 +55,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
 		workers = flag.Int("workers", 0, "shard workers per pass (0 = all cores); the estimate is identical at any setting")
+		mmap    = flag.Bool("mmap", false, "serve .bex v2 inputs through the mmap-backed reader (I/O preference only; the estimate is identical)")
 		trials  = flag.Int("trials", 1, "independent estimator runs over keyed seeds (trial 0 = -seed), fused onto shared physical scans; reports mean ± stderr")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); a run interrupted mid-search reports its best estimate so far as partial")
 		retries = flag.Int("retries", 0, "transient I/O fault retry attempts per scan (0 = default 3, negative = disabled); retries never change the estimate")
@@ -91,6 +92,7 @@ func main() {
 		SampleMultiplier: *mult,
 		Workers:          *workers,
 		RetryAttempts:    *retries,
+		PreferMmap:       *mmap,
 	}
 	if *inject != "" {
 		plan, err := faultio.ParsePlan(*inject)
@@ -129,6 +131,7 @@ func main() {
 		fmt.Println()
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
+		fmt.Printf("backend:             %s\n", res.Backend)
 		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: at least one trial hit the space cutoff; the mean is unreliable")
@@ -144,6 +147,7 @@ func main() {
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
+		fmt.Printf("backend:             %s\n", res.Backend)
 		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: run aborted at the space cutoff; the estimate is unreliable")
@@ -184,6 +188,7 @@ func exitCode(err error) int {
 		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return exitAborted
 	case errors.Is(err, stream.ErrTruncated), errors.Is(err, stream.ErrCorruptHeader),
+		errors.Is(err, stream.ErrCorruptBlock),
 		errors.Is(err, fs.ErrNotExist), errors.Is(err, fs.ErrPermission), errors.As(err, &perr):
 		return exitIO
 	default:

@@ -92,6 +92,7 @@ func runServe(args []string) {
 		listen     = fs.String("listen", "127.0.0.1:8321", "listen address")
 		workers    = fs.Int("workers", 0, "shard workers per physical scan (0 = all cores)")
 		retries    = fs.Int("retries", 0, "transient I/O retry attempts per scan (0 = default 3, negative = disabled)")
+		mmap       = fs.Bool("mmap", false, "serve .bex v2 graphs through the mmap-backed reader (I/O preference only)")
 		maxConc    = fs.Int("max-concurrent", 0, "execution slots (0 = 2x cores)")
 		queue      = fs.Int("queue", 64, "bounded queue depth; requests beyond it are shed with 429")
 		ceiling    = fs.Int64("ceiling", 1<<26, "aggregate admitted space-budget ceiling, words")
@@ -120,6 +121,7 @@ func runServe(args []string) {
 		Graphs:             graphs,
 		Workers:            *workers,
 		RetryAttempts:      *retries,
+		PreferMmap:         *mmap,
 		MaxConcurrent:      *maxConc,
 		QueueDepth:         *queue,
 		SpaceCeilingWords:  *ceiling,

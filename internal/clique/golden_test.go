@@ -98,18 +98,33 @@ func TestEstimateGolden(t *testing.T) {
 // TestEstimateGoldenFileBackends re-runs the golden pins over the disk-backed
 // stream sources, with the files written in the exact shuffled order the
 // in-memory goldens use: the text stream spends one extra counting pass
-// (length unknown up front), the .bex stream none, and everything else must
+// (length unknown up front), the binary streams (flat .bex v1, block-indexed
+// .bex v2 buffered and mmap, sharded .bexd) none, and everything else must
 // match the goldens bit for bit.
 func TestEstimateGoldenFileBackends(t *testing.T) {
 	graphs := cliqueGoldenGraphs()
 	dir := t.TempDir()
 
+	type fileBackend struct {
+		name  string
+		path  string
+		mmap  bool
+		extra int
+	}
 	written := map[string]bool{}
-	writeBackends := func(gc cliqueGolden) (txt, bex string) {
+	writeBackends := func(gc cliqueGolden) []fileBackend {
 		base := filepath.Join(dir, gc.workload)
-		txt, bex = base+".txt", base+stream.BexExt
+		txt, bex1 := base+".txt", base+".v1"+stream.BexExt
+		bex2, bexd := base+stream.BexExt, base+stream.BexdExt
+		fbs := []fileBackend{
+			{"text", txt, false, 1},
+			{"bex1", bex1, false, 0},
+			{"bex2", bex2, false, 0},
+			{"bex2-mmap", bex2, true, 0},
+			{"bexd", bexd, false, 0},
+		}
 		if written[gc.workload] {
-			return txt, bex
+			return fbs
 		}
 		g := graphs[gc.workload]
 		f, err := os.Create(txt)
@@ -122,23 +137,27 @@ func TestEstimateGoldenFileBackends(t *testing.T) {
 		if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := stream.WriteBexFile(bex, stream.FromGraphShuffled(g, gc.streamSeed)); err != nil {
+		if _, err := stream.WriteBexFile(bex1, stream.FromGraphShuffled(g, gc.streamSeed)); err != nil {
+			t.Fatal(err)
+		}
+		// Tiny blocks/parts so the goldens exercise multi-block and
+		// multi-part reads, not just a single-block fast path.
+		if _, err := stream.WriteBex2File(bex2, stream.FromGraphShuffled(g, gc.streamSeed), 16); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stream.WriteBexd(bexd, stream.FromGraphShuffled(g, gc.streamSeed), 16, 64); err != nil {
 			t.Fatal(err)
 		}
 		written[gc.workload] = true
-		return txt, bex
+		return fbs
 	}
 
 	for _, gc := range cliqueGoldens {
 		// All golden cases of one workload share a streamSeed, so the files
 		// written for the first case serve the rest.
-		txt, bex := writeBackends(gc)
 		for _, workers := range []int{1, 2, 4, 8} {
-			for _, backend := range []struct {
-				path  string
-				extra int
-			}{{txt, 1}, {bex, 0}} {
-				src, err := stream.OpenAuto(backend.path)
+			for _, backend := range writeBackends(gc) {
+				src, err := stream.OpenAutoPrefer(backend.path, backend.mmap)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -147,9 +166,9 @@ func TestEstimateGoldenFileBackends(t *testing.T) {
 				res, err := Estimate(src, cfg)
 				src.Close()
 				if err != nil {
-					t.Fatalf("%s/seed=%d/workers=%d: %v", filepath.Base(backend.path), gc.seed, workers, err)
+					t.Fatalf("%s/seed=%d/workers=%d: %v", backend.name, gc.seed, workers, err)
 				}
-				gc.check(t, filepath.Base(backend.path), res, backend.extra)
+				gc.check(t, gc.workload+"/"+backend.name, res, backend.extra)
 			}
 		}
 	}

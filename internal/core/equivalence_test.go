@@ -3,9 +3,11 @@ package core_test
 // Refactor-equivalence pins for the shared pass framework (internal/passes):
 // the golden cases of golden_test.go — whose expected values predate the
 // framework — must hold bit for bit at every worker count (1/2/4/8) and over
-// every stream backend (in-memory, text file, binary .bex). Combined with the
-// clique golden suite this is the guarantee that moving the pass plumbing
-// into internal/passes changed no realized randomness anywhere.
+// every stream backend (in-memory, text file, flat .bex v1, block-indexed
+// .bex v2 buffered and mmap, sharded .bexd). Combined with the clique golden
+// suite this is the guarantee that moving the pass plumbing into
+// internal/passes changed no realized randomness anywhere — and that no
+// storage format does either.
 
 import (
 	"os"
@@ -21,7 +23,7 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 	dir := t.TempDir()
 
 	// Write each workload's stream once, in the exact shuffled order the
-	// in-memory goldens use, so all three backends replay identical streams.
+	// in-memory goldens use, so every backend replays identical streams.
 	type backend struct {
 		name        string
 		open        func() (stream.Stream, func(), error)
@@ -30,7 +32,9 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 	backends := map[string][]backend{}
 	for name, w := range graphs {
 		txt := filepath.Join(dir, name+".txt")
-		bex := filepath.Join(dir, name+stream.BexExt)
+		bex1 := filepath.Join(dir, name+".v1"+stream.BexExt)
+		bex2 := filepath.Join(dir, name+stream.BexExt)
+		bexd := filepath.Join(dir, name+stream.BexdExt)
 		f, err := os.Create(txt)
 		if err != nil {
 			t.Fatal(err)
@@ -41,13 +45,21 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 		if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := stream.WriteBexFile(bex, stream.FromGraphShuffled(w.g, w.streamSeed)); err != nil {
+		if _, err := stream.WriteBexFile(bex1, stream.FromGraphShuffled(w.g, w.streamSeed)); err != nil {
+			t.Fatal(err)
+		}
+		// Tiny blocks and parts so even these small goldens span several
+		// blocks and .bexd parts (the interesting decode/chain paths).
+		if _, err := stream.WriteBex2File(bex2, stream.FromGraphShuffled(w.g, w.streamSeed), 16); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stream.WriteBexd(bexd, stream.FromGraphShuffled(w.g, w.streamSeed), 16, 64); err != nil {
 			t.Fatal(err)
 		}
 		g, seed := w.g, w.streamSeed
-		openFile := func(path string) func() (stream.Stream, func(), error) {
+		openPrefer := func(path string, mmap bool) func() (stream.Stream, func(), error) {
 			return func() (stream.Stream, func(), error) {
-				src, err := stream.OpenAuto(path)
+				src, err := stream.OpenAutoPrefer(path, mmap)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -58,8 +70,11 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 			{"memory", func() (stream.Stream, func(), error) {
 				return stream.FromGraphShuffled(g, seed), func() {}, nil
 			}, 0},
-			{"text", openFile(txt), 1},
-			{"bex", openFile(bex), 0},
+			{"text", openPrefer(txt, false), 1},
+			{"bex1", openPrefer(bex1, false), 0},
+			{"bex2", openPrefer(bex2, false), 0},
+			{"bex2-mmap", openPrefer(bex2, true), 0},
+			{"bexd", openPrefer(bexd, false), 0},
 		}
 	}
 

@@ -110,8 +110,9 @@ func parseInt64(line []byte, i, lineNo int) (int64, int, error) {
 
 // writeCanonical writes the canonical edge sequence as <name>.bex and
 // <name>.txt under dir, atomically (temp file + rename, so an interrupted
-// write never leaves a plausible-looking partial cache file). It returns the
-// SHA-256 of the .bex.
+// write never leaves a plausible-looking partial cache file). The .bex is
+// written in the v2 block-indexed format (the cache's canonical binary form
+// since manifest schema 2). It returns the SHA-256 of the .bex.
 func writeCanonical(dir, name string, edges []graph.Edge) (bexSHA string, err error) {
 	if len(edges) == 0 {
 		return "", fmt.Errorf("corpus: %s canonicalized to zero edges", name)
@@ -120,7 +121,7 @@ func writeCanonical(dir, name string, edges []graph.Edge) (bexSHA string, err er
 	txtPath := filepath.Join(dir, name+".txt")
 
 	bexTmp := bexPath + ".tmp"
-	if _, err := stream.WriteBexFile(bexTmp, stream.FromEdges(edges)); err != nil {
+	if _, err := stream.WriteBex2File(bexTmp, stream.FromEdges(edges), 0); err != nil {
 		os.Remove(bexTmp)
 		return "", fmt.Errorf("corpus: write %s: %w", bexPath, err)
 	}

@@ -11,6 +11,10 @@
 // downstream (the bench sweep, BENCH_N.json, benchdiff) is oblivious to
 // which corpus it ran on; the JSON records the source honestly either way.
 //
+// Each graph is cached as a `.txt`/`.bex` pair in a pinned canonical edge
+// order; the canonical `.bex` is the block-indexed v2 format since manifest
+// schema 2 (older caches read as empty and regenerate on the next fetch).
+//
 // Every cached artifact is SHA-256 checksummed. Offline stand-ins verify
 // against checksums checked into this file (they are bit-deterministic);
 // real downloads verify against their pinned upstream checksum, or are
@@ -80,7 +84,7 @@ func Entries() []Entry {
 			URL:           "https://snap.stanford.edu/data/ca-GrQc.txt.gz",
 			License:       "SNAP (free for research; cite Leskovec et al.)",
 			Standin:       func() *graph.Graph { return gen.HolmeKim(5242, 5, 0.7, 0xCA64) },
-			StandinSHA256: "f90fe7b408ea5f7d92706ba5d25fb4084abe899892772acfea38e9b626628eb2",
+			StandinSHA256: "6f18d24389350efaf06a2ddf12531aa862a750ef7ea6ab0ccfae5aea8954d9cf",
 		},
 		{
 			Name:          "email-Enron",
@@ -88,7 +92,7 @@ func Entries() []Entry {
 			URL:           "https://snap.stanford.edu/data/email-Enron.txt.gz",
 			License:       "SNAP (free for research; cite Leskovec et al.)",
 			Standin:       func() *graph.Graph { return gen.ChungLu(36692, 10, 2.2, 0xE2909) },
-			StandinSHA256: "17c3c71a15afe0745ed7040563ea8922b7ed6c406fd286f33d291c0dab7cbda8",
+			StandinSHA256: "662b22047081c6dceb09e76ac3147ea28038e16d486be245e6c4d2483f31edc9",
 		},
 		{
 			Name:          "roadNet-PA-sample",
@@ -97,7 +101,7 @@ func Entries() []Entry {
 			License:       "SNAP (free for research; cite Leskovec et al.)",
 			MaxEdges:      400_000,
 			Standin:       func() *graph.Graph { return gen.TriangularGrid(160, 160) },
-			StandinSHA256: "1eed1d05e78cd298db96a835c4892ee1e5cb97b1a38ec2d2c26d64be8b45ab01",
+			StandinSHA256: "a7652cab41f6a2b9b3bf3454d74b6ace6ae840921347138905b428f43a65cc6a",
 		},
 		{
 			Name:          "web-Stanford-sample",
@@ -106,7 +110,7 @@ func Entries() []Entry {
 			License:       "SNAP (free for research; cite Leskovec et al.)",
 			MaxEdges:      400_000,
 			Standin:       func() *graph.Graph { return gen.HolmeKim(15000, 8, 0.6, 0x3EB51) },
-			StandinSHA256: "13acc621987a199958ef0795d3add17ac557e7bf9b98a23d1a4f8e46aa187ecc",
+			StandinSHA256: "ebc35d1cf3d3def0438eb2def71b8f8812877db917320e51f9d0a3aff69585d0",
 		},
 	}
 }
@@ -137,6 +141,8 @@ type CachedGraph struct {
 	// Bex and Text are cache-relative file names.
 	Bex  string `json:"bex"`
 	Text string `json:"text"`
+	// Format is the binary format of Bex ("bex2" since schema 2).
+	Format string `json:"format"`
 	// BexSHA256 is the checksum of the canonical .bex as written.
 	BexSHA256 string `json:"sha256_bex"`
 	// RawSHA256 is the checksum of the raw download (real source only).
@@ -152,11 +158,14 @@ type Manifest struct {
 }
 
 // ManifestSchemaVersion versions the cache manifest independently of the
-// BENCH schema.
-const ManifestSchemaVersion = 1
+// BENCH schema. Schema 2 switched the canonical .bex files from the flat v1
+// format to the block-indexed v2 format (and added Format to each record).
+const ManifestSchemaVersion = 2
 
 // ReadManifest loads the manifest of a cache directory. A missing manifest
-// returns an empty one (fresh cache), not an error.
+// returns an empty one (fresh cache), not an error. An older-schema manifest
+// also reads as empty: its cache files are in a superseded format, so Fetch
+// regenerates them and downstream readers see the graphs as not yet fetched.
 func ReadManifest(dir string) (*Manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if os.IsNotExist(err) {
@@ -168,6 +177,9 @@ func ReadManifest(dir string) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("corpus: parse %s: %w", ManifestName, err)
+	}
+	if m.SchemaVersion < ManifestSchemaVersion {
+		return &Manifest{SchemaVersion: ManifestSchemaVersion}, nil
 	}
 	if m.SchemaVersion != ManifestSchemaVersion {
 		return nil, fmt.Errorf("corpus: %s schema version %d, want %d",

@@ -247,6 +247,12 @@ func TestOfflineFetchDeterministicAndCached(t *testing.T) {
 	if !ok || g.Source != SourceStandin || g.N == 0 || g.M == 0 {
 		t.Errorf("manifest record wrong: %+v", g)
 	}
+	if g.Format != stream.BackendBex2 {
+		t.Errorf("manifest format = %q, want %q", g.Format, stream.BackendBex2)
+	}
+	if b := stream.BackendOf(mustOpen(t, bexPath)); b != stream.BackendBex2 {
+		t.Errorf("cached .bex opens as backend %q, want %q", b, stream.BackendBex2)
+	}
 
 	// Text and .bex cache files must contain the identical edge sequence
 	// (that is what makes their estimates bit-identical).
@@ -276,6 +282,48 @@ func mustOpen(t *testing.T, path string) stream.Stream {
 	}
 	t.Cleanup(func() { s.Close() })
 	return s
+}
+
+func TestOldSchemaManifestRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	old := `{"schema_version": 1, "graphs": [{"name": "ca-GrQc", "source": "offline-standin", "bex": "ca-GrQc.bex", "text": "ca-GrQc.txt"}]}`
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Old-schema manifests read as empty: their cache files are in the
+	// superseded v1 format, so the graphs appear unfetched.
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("old-schema manifest should read as fresh, got %v", err)
+	}
+	if len(man.Graphs) != 0 || man.SchemaVersion != ManifestSchemaVersion {
+		t.Fatalf("old-schema manifest read as %+v, want empty at schema %d", man, ManifestSchemaVersion)
+	}
+	// A fetch over the old cache regenerates (no stale hit) and upgrades the
+	// on-disk manifest to the current schema.
+	sts, err := Fetch(Options{CacheDir: dir, Offline: true, Only: []string{"ca-GrQc"}})
+	if err != nil {
+		t.Fatalf("fetch over old-schema cache: %v", err)
+	}
+	if sts[0].FromCache {
+		t.Error("old-schema cache was served as a hit")
+	}
+	man2, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := man2.Graph("ca-GrQc"); !ok || g.Format != stream.BackendBex2 {
+		t.Errorf("upgraded manifest record = %+v", g)
+	}
+
+	// A future schema stays a hard error (we cannot know its semantics).
+	if err := os.WriteFile(filepath.Join(dir, ManifestName),
+		[]byte(`{"schema_version": 99, "graphs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("future-schema manifest did not error")
+	}
 }
 
 func TestFetchUnknownEntry(t *testing.T) {

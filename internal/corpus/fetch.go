@@ -111,7 +111,8 @@ func fetchOne(e Entry, manifest *Manifest, opts *Options) (Status, error) {
 	// verifies (against the checked-in stand-in sum offline, the recorded
 	// sum online).
 	if !opts.Force {
-		if cached, ok := manifest.Graph(e.Name); ok && cached.Source == wantSource {
+		if cached, ok := manifest.Graph(e.Name); ok && cached.Source == wantSource &&
+			cached.Format == stream.BackendBex2 {
 			bexPath := filepath.Join(opts.CacheDir, cached.Bex)
 			txtPath := filepath.Join(opts.CacheDir, cached.Text)
 			if fileExists(bexPath) && fileExists(txtPath) {
@@ -236,6 +237,7 @@ func finishEntry(e Entry, opts *Options, edges []graph.Edge, source, rawSHA stri
 		Name: e.Name, Category: e.Category, Source: source,
 		N: n, M: m,
 		Bex: e.Name + stream.BexExt, Text: e.Name + ".txt",
+		Format:    stream.BackendBex2,
 		BexSHA256: bexSHA, RawSHA256: rawSHA,
 		URL: e.URL, License: e.License,
 	}

@@ -109,6 +109,7 @@ type estimateResponse struct {
 	Edges            int     `json:"edges"`
 	DegeneracyBound  int     `json:"degeneracyBound"`
 	DegeneracyApprox bool    `json:"degeneracyApprox"`
+	Backend          string  `json:"backend,omitempty"`
 	Passes           int     `json:"passes"`
 	SpaceWords       int64   `json:"spaceWords"`
 	Partial          bool    `json:"partial"`
@@ -278,6 +279,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Edges:            res.Edges,
 		DegeneracyBound:  res.DegeneracyBound,
 		DegeneracyApprox: res.DegeneracyApprox,
+		Backend:          res.Backend,
 		Passes:           res.Passes,
 		SpaceWords:       res.SpaceWords,
 		Partial:          res.Partial,
@@ -341,6 +343,7 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 		Edges:            res.Edges,
 		DegeneracyBound:  res.DegeneracyBound,
 		DegeneracyApprox: res.DegeneracyApprox,
+		Backend:          res.Backend,
 		Passes:           res.Passes,
 		SpaceWords:       res.SpaceWords,
 		Fused:            true,

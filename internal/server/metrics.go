@@ -75,6 +75,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	for _, name := range s.names {
 		st := s.entries[name].snapshot()
+		if st.Backend != "" {
+			fmt.Fprintf(w, "triangled_graph_backend{graph=%q,backend=%q} 1\n", name, st.Backend)
+		}
 		fmt.Fprintf(w, "triangled_graph_scans_total{graph=%q} %d\n", name, st.Scans)
 		fmt.Fprintf(w, "triangled_graph_carried_total{graph=%q} %d\n", name, st.Carried)
 		fmt.Fprintf(w, "triangled_graph_live_clients{graph=%q} %d\n", name, st.Live)

@@ -83,6 +83,7 @@ func (e *graphEntry) acquire(ctx context.Context) (*triangle.ScanGroup, func(), 
 		g, err := triangle.OpenScanGroup(gctx, e.path, triangle.GroupOptions{
 			Workers:       e.srv.cfg.Workers,
 			RetryAttempts: e.srv.cfg.RetryAttempts,
+			PreferMmap:    e.srv.cfg.PreferMmap,
 		})
 
 		e.mu.Lock()
@@ -175,6 +176,7 @@ func (e *graphEntry) snapshot() graphStatus {
 	switch {
 	case r != nil:
 		st.State = "ready"
+		st.Backend = r.g.Backend()
 		st.Edges = r.g.M()
 		st.Scans = r.g.Scans()
 		st.Carried = r.g.Carried()
@@ -196,6 +198,7 @@ type graphStatus struct {
 	Name           string `json:"name"`
 	Path           string `json:"path"`
 	State          string `json:"state"`
+	Backend        string `json:"backend,omitempty"`
 	Breaker        string `json:"breaker"`
 	RetryIn        string `json:"retryIn,omitempty"`
 	BreakerTrips   int64  `json:"breakerTrips,omitempty"`
@@ -222,6 +225,7 @@ func isIOError(err error) bool {
 	var pathErr *fs.PathError
 	return errors.Is(err, stream.ErrTruncated) ||
 		errors.Is(err, stream.ErrCorruptHeader) ||
+		errors.Is(err, stream.ErrCorruptBlock) ||
 		errors.Is(err, stream.ErrTransient) || // transient only until the retry budget ran out
 		errors.Is(err, triangle.ErrNoEdges) ||
 		errors.Is(err, fs.ErrNotExist) ||

@@ -41,6 +41,9 @@ type Config struct {
 	// RetryAttempts is the transient-I/O retry budget of shared scans
 	// (0 = library default, negative = disabled).
 	RetryAttempts int
+	// PreferMmap serves .bex v2 graphs (and .bexd parts) through the
+	// mmap-backed reader; estimates are identical either way.
+	PreferMmap bool
 
 	// MaxConcurrent is the execution slot count. Default 2×GOMAXPROCS,
 	// floored at 4.

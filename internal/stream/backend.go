@@ -1,0 +1,30 @@
+package stream
+
+// Backend names for the storage formats a stream can be served from. These
+// strings are stable: they appear in trianglecount output, triangled
+// /metrics and status JSON, and the bench sweep's metric keys.
+const (
+	BackendMemory   = "memory"
+	BackendText     = "text"
+	BackendBex1     = "bex1"
+	BackendBex2     = "bex2"
+	BackendBex2Mmap = "bex2-mmap"
+	BackendBexd     = "bexd"
+)
+
+// Backender is implemented by streams that know which storage backend they
+// read from.
+type Backender interface {
+	Backend() string
+}
+
+// BackendOf reports the storage backend of s, unwrapping decorators (fault
+// injectors, counters) that forward the Backender interface. Streams that do
+// not identify themselves report "memory" — the in-process backend every
+// non-file stream amounts to.
+func BackendOf(s Stream) string {
+	if b, ok := s.(Backender); ok {
+		return b.Backend()
+	}
+	return BackendMemory
+}

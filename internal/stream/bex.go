@@ -354,18 +354,66 @@ func (r *bexRange) Close() error {
 	return err
 }
 
+// Backend implements Backender.
+func (b *BexStream) Backend() string { return BackendBex1 }
+
 // FileBacked is a file-backed edge stream that must eventually be closed.
 type FileBacked interface {
 	Stream
 	Close() error
 }
 
-// OpenAuto opens an edge file as the format its extension indicates: .bex
-// files get the binary reader, anything else the text parser. The text path
+// OpenAuto opens an edge file as whatever format it actually is: a
+// directory (or the .bexd extension) gets the sharded multi-file reader,
+// files are sniffed by magic — "BEX1" gets the flat v1 reader, "BEX2" the
+// block-indexed v2 reader — and anything else the text parser. Dispatch is
+// by content first and extension second, so a v2 file named plain .bex and
+// a v1 file written by an old tool both open correctly. The text path
 // defers errors to the first Reset, matching OpenFile.
 func OpenAuto(path string) (FileBacked, error) {
+	return OpenAutoPrefer(path, false)
+}
+
+// OpenAutoPrefer is OpenAuto with a reader preference: when mmap is true,
+// .bex v2 files (including the parts behind a .bexd directory) are served
+// by the mmap-backed reader instead of buffered positioned reads. Formats
+// with no mmap reader (text, v1) ignore the preference.
+func OpenAutoPrefer(path string, mmap bool) (FileBacked, error) {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return OpenBexdPrefer(path, mmap)
+	}
+	if strings.HasSuffix(strings.ToLower(path), BexdExt) {
+		return OpenBexdPrefer(path, mmap)
+	}
+	switch sniffMagic(path) {
+	case bexMagic:
+		return OpenBex(path)
+	case bex2Magic:
+		if mmap {
+			return OpenBexMap(path)
+		}
+		return OpenBex2(path)
+	}
 	if strings.HasSuffix(strings.ToLower(path), BexExt) {
+		// The .bex extension with an unrecognized magic: let OpenBex report
+		// the corrupt-header diagnosis instead of parsing binary as text.
 		return OpenBex(path)
 	}
 	return OpenFile(path), nil
+}
+
+// sniffMagic reads the first four bytes of path; it returns "" when the file
+// cannot be read or is shorter than a magic (both are the text parser's
+// problem to diagnose).
+func sniffMagic(path string) string {
+	file, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer file.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(file, magic[:]); err != nil {
+		return ""
+	}
+	return string(magic[:])
 }

@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"degentri/internal/graph"
+)
+
+// bexMapping is a refcounted read-only mapping of one .bex v2 file, shared
+// by a BexMapStream and every range sub-stream it hands out. The mapping is
+// established lazily on the first acquire and released when the last holder
+// lets go, so a Close + Reset cycle works (matching the file-backed streams)
+// and a range sub-stream can never observe a munmapped page: the bytes it
+// slices are pinned by its own reference.
+type bexMapping struct {
+	path string
+	size int64
+
+	mu   sync.Mutex
+	data []byte
+	refs int
+}
+
+func (m *bexMapping) acquire() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.data == nil {
+		data, err := mapFile(m.path, m.size)
+		if err != nil {
+			return err
+		}
+		m.data = data
+	}
+	m.refs++
+	return nil
+}
+
+func (m *bexMapping) release() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refs == 0 {
+		return nil
+	}
+	m.refs--
+	if m.refs > 0 || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return unmapFile(data)
+}
+
+// bytes returns the mapped range [off, off+n). The caller must hold a
+// reference (acquire without a matching release).
+func (m *bexMapping) bytes(off int64, n int) ([]byte, error) {
+	m.mu.Lock()
+	data := m.data
+	m.mu.Unlock()
+	if data == nil {
+		return nil, fmt.Errorf("stream: %s: read from released mapping: %w", m.path, ErrNoPass)
+	}
+	return data[off : off+int64(n)], nil
+}
+
+// bex2MapSource serves block payloads as slices of a shared mapping: no read
+// syscalls, no copy of the raw bytes (decode still materializes edges).
+type bex2MapSource struct {
+	meta *bex2Meta
+	mp   *bexMapping
+	held bool
+}
+
+func (s *bex2MapSource) open() error {
+	if s.held {
+		return nil
+	}
+	if err := s.mp.acquire(); err != nil {
+		return err
+	}
+	s.held = true
+	return nil
+}
+
+func (s *bex2MapSource) block(k int) ([]byte, error) {
+	b := s.meta.blocks[k]
+	return s.mp.bytes(b.off, b.length)
+}
+
+func (s *bex2MapSource) close() error {
+	if !s.held {
+		return nil
+	}
+	s.held = false
+	return s.mp.release()
+}
+
+// BexMapStream streams edges from a .bex v2 file through a read-only memory
+// mapping instead of buffered positioned reads: block payloads are decoded
+// straight out of the page cache. On platforms without mmap a heap-backed
+// fallback keeps the same semantics. Contrast with Bex2Stream, which issues
+// one positioned read per block — the mmap reader wins when the file is hot
+// in cache or scanned by many concurrent shard ranges; the buffered reader
+// keeps resident memory bounded on cold files bigger than RAM.
+type BexMapStream struct {
+	cur bex2Cursor
+	mp  *bexMapping
+}
+
+// OpenBexMap opens a .bex v2 file for mmap-backed reads, with the same eager
+// container validation as OpenBex2. The mapping itself is established on the
+// first Reset.
+func OpenBexMap(path string) (*BexMapStream, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: open %s: %w", path, err)
+	}
+	meta, err := readBex2Meta(file, path)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	info, err := file.Stat()
+	file.Close()
+	if err != nil {
+		return nil, fmt.Errorf("stream: stat %s: %w", path, err)
+	}
+	mp := &bexMapping{path: path, size: info.Size()}
+	return &BexMapStream{
+		cur: bex2Cursor{
+			meta: meta,
+			src:  &bex2MapSource{meta: meta, mp: mp},
+			lo:   0, hi: meta.m,
+		},
+		mp: mp,
+	}, nil
+}
+
+// Reset implements Stream.
+func (b *BexMapStream) Reset() error { return b.cur.reset() }
+
+// Next implements Stream.
+func (b *BexMapStream) Next() (graph.Edge, error) { return b.cur.next() }
+
+// NextBatch implements Stream.
+func (b *BexMapStream) NextBatch(buf []graph.Edge) ([]graph.Edge, error) {
+	return b.cur.nextBatch(buf)
+}
+
+// Len implements Stream; a .bex stream always knows its length.
+func (b *BexMapStream) Len() (int, bool) { return b.cur.meta.m, true }
+
+// RangeStream implements RangeStreamer. Sub-streams share the parent's
+// mapping (each holding its own reference), so concurrent shard workers read
+// one mapping instead of opening one file handle each.
+func (b *BexMapStream) RangeStream(lo, hi int) (Stream, bool) {
+	if lo < 0 || hi < lo || hi > b.cur.meta.m {
+		return nil, false
+	}
+	return &bex2Range{cur: bex2Cursor{
+		meta: b.cur.meta,
+		src:  &bex2MapSource{meta: b.cur.meta, mp: b.mp},
+		lo:   lo, hi: hi,
+	}}, true
+}
+
+// Close releases this stream's reference on the mapping; the stream can be
+// Reset afterwards, and live range sub-streams keep their own references.
+func (b *BexMapStream) Close() error { return b.cur.closeCursor() }
+
+// Backend implements Backender.
+func (b *BexMapStream) Backend() string { return BackendBex2Mmap }

@@ -19,6 +19,11 @@ import (
 //   - ErrCorruptHeader: the container metadata itself is wrong (bad .bex
 //     magic, implausible count, header/size disagreement). Unlike truncation
 //     this is detected at open time and retrying cannot help.
+//   - ErrCorruptBlock: a .bex v2 block's payload failed its checksum or did
+//     not decode to the edge count its footer record declared. The container
+//     geometry was fine at open; the damage is confined to (and reported
+//     with) one block, detected deterministically the first time that block
+//     is read. Retrying cannot help.
 //   - ErrTransient: the failure is worth retrying — the read may succeed on
 //     the next attempt (EIO from a flaky device, an injected fault from
 //     internal/faultio). The engine's retry layer resumes or re-runs only
@@ -27,6 +32,7 @@ import (
 var (
 	ErrTruncated     = errors.New("stream: truncated input")
 	ErrCorruptHeader = errors.New("stream: corrupt header")
+	ErrCorruptBlock  = errors.New("stream: corrupt block")
 	ErrTransient     = errors.New("stream: transient I/O error")
 )
 

@@ -259,6 +259,9 @@ func OpenFileWith(path string, open Opener) *FileStream {
 	return &FileStream{path: path, open: open}
 }
 
+// Backend implements Backender.
+func (f *FileStream) Backend() string { return BackendText }
+
 // adoptCachedIndex makes a previously recorded shard index of this file (any
 // FileStream of the process that completed a pass) available to this stream,
 // if the file's stat identity still matches.

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package stream
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap falls back to reading the whole
+// file into memory. BexMapStream keeps working everywhere; only the
+// zero-copy property is lost.
+func mapFile(path string, size int64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: read %s: %w", path, err)
+	}
+	if int64(len(data)) != size {
+		return nil, fmt.Errorf("stream: %s changed size under read (%d bytes, validated at %d): %w",
+			path, len(data), size, ErrTruncated)
+	}
+	return data, nil
+}
+
+// unmapFile releases a mapping produced by mapFile (a no-op for the
+// heap-backed fallback).
+func unmapFile(data []byte) error {
+	return nil
+}

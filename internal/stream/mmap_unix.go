@@ -1,0 +1,38 @@
+//go:build unix
+
+package stream
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory. The caller passes the size the
+// container was validated at; a file that changed size since open is refused
+// rather than mapped, because block offsets would no longer be trustworthy.
+func mapFile(path string, size int64) ([]byte, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: open %s: %w", path, err)
+	}
+	defer file.Close()
+	info, err := file.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("stream: stat %s: %w", path, err)
+	}
+	if info.Size() != size {
+		return nil, fmt.Errorf("stream: %s changed size under mmap (%d bytes, validated at %d): %w",
+			path, info.Size(), size, ErrTruncated)
+	}
+	data, err := syscall.Mmap(int(file.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("stream: mmap %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

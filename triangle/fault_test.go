@@ -16,11 +16,14 @@ import (
 	"degentri/internal/stream"
 )
 
-// faultTestFiles writes the edge list as a text file and a .bex file.
-func faultTestFiles(t *testing.T, edges []Edge) (textPath, bexPath string) {
+// faultTestFiles writes the edge list in every on-disk format: text, flat
+// .bex v1, block-indexed .bex v2, and a sharded .bexd directory (tiny blocks
+// and parts so even small graphs span several of each). The returned map is
+// keyed by backend name.
+func faultTestFiles(t *testing.T, edges []Edge) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
-	textPath = filepath.Join(dir, "g.txt")
+	textPath := filepath.Join(dir, "g.txt")
 	f, err := os.Create(textPath)
 	if err != nil {
 		t.Fatal(err)
@@ -31,27 +34,38 @@ func faultTestFiles(t *testing.T, edges []Edge) (textPath, bexPath string) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	bexPath = filepath.Join(dir, "g.bex")
-	fs, err := stream.OpenAuto(textPath)
-	if err != nil {
-		t.Fatal(err)
+	paths := map[string]string{"text": textPath}
+	write := func(name string, w func(s stream.Stream) error) {
+		fs, err := stream.OpenAuto(textPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		if err := w(fs); err != nil {
+			t.Fatal(err)
+		}
 	}
-	defer fs.Close()
-	if _, err := stream.WriteBexFile(bexPath, fs); err != nil {
-		t.Fatal(err)
-	}
-	return textPath, bexPath
+	bex1 := filepath.Join(dir, "g.v1.bex")
+	write("bex1", func(s stream.Stream) error { _, err := stream.WriteBexFile(bex1, s); return err })
+	paths["bex1"] = bex1
+	bex2 := filepath.Join(dir, "g.bex")
+	write("bex2", func(s stream.Stream) error { _, err := stream.WriteBex2File(bex2, s, 64); return err })
+	paths["bex2"] = bex2
+	bexd := filepath.Join(dir, "g.bexd")
+	write("bexd", func(s stream.Stream) error { _, err := stream.WriteBexd(bexd, s, 64, 256); return err })
+	paths["bexd"] = bexd
+	return paths
 }
 
 // TestFaultScheduleDoesNotChangeResult is the PR's acceptance property: a
 // seed-keyed schedule of transient faults (mid-read EIO, failing Resets),
 // healed by bounded retry, yields a Result with exactly the same Estimate,
 // Passes, Scans, and SpaceWords as the fault-free run — at every worker
-// count, over in-memory, text-file, and .bex streams. Only Retries may
-// differ.
+// count, over in-memory, text-file, .bex v1/v2 (buffered and mmap), and
+// sharded .bexd streams. Only Retries may differ.
 func TestFaultScheduleDoesNotChangeResult(t *testing.T) {
 	edges := ClusteredPreferentialAttachment(1500, 4, 0.5, 11)
-	textPath, bexPath := faultTestFiles(t, edges)
+	paths := faultTestFiles(t, edges)
 
 	base := Options{Epsilon: 0.3, Seed: 5}
 	// MaxFaults stays below the default 3 retry attempts, so no single scan
@@ -60,13 +74,22 @@ func TestFaultScheduleDoesNotChangeResult(t *testing.T) {
 		Kinds: []faultio.Kind{faultio.KindEIO, faultio.KindFailReset}}
 
 	type runner func(opts Options) (Result, error)
+	fileRunner := func(path string, mmap bool) runner {
+		return func(opts Options) (Result, error) {
+			opts.PreferMmap = mmap
+			return EstimateFile(path, opts)
+		}
+	}
 	sources := []struct {
 		name string
 		run  runner
 	}{
 		{"memory", func(opts Options) (Result, error) { return Estimate(edges, opts) }},
-		{"text", func(opts Options) (Result, error) { return EstimateFile(textPath, opts) }},
-		{"bex", func(opts Options) (Result, error) { return EstimateFile(bexPath, opts) }},
+		{"text", fileRunner(paths["text"], false)},
+		{"bex1", fileRunner(paths["bex1"], false)},
+		{"bex2", fileRunner(paths["bex2"], false)},
+		{"bex2-mmap", fileRunner(paths["bex2"], true)},
+		{"bexd", fileRunner(paths["bexd"], false)},
 	}
 
 	totalRetries := 0
@@ -231,11 +254,11 @@ func TestDeadlineClassification(t *testing.T) {
 // leak. CI runs this under -race -shuffle=on.
 func TestChaosSmoke(t *testing.T) {
 	edges := ClusteredPreferentialAttachment(600, 3, 0.4, 9)
-	textPath, bexPath := faultTestFiles(t, edges)
+	paths := faultTestFiles(t, edges)
 	baseline := runtime.NumGoroutine()
 
 	for seed := uint64(1); seed <= 4; seed++ {
-		for _, path := range []string{textPath, bexPath} {
+		for name, path := range paths {
 			plan := faultio.Plan{Seed: seed, Every: 3, MaxFaults: 4, Stall: 100 * time.Microsecond,
 				Kinds: []faultio.Kind{faultio.KindEIO, faultio.KindFailReset, faultio.KindStall}}
 			opts := Options{Epsilon: 0.4, Seed: seed, Workers: 4}
@@ -244,10 +267,10 @@ func TestChaosSmoke(t *testing.T) {
 			if err != nil {
 				// Transient kinds healed under retry must not surface; any
 				// error here is a bug.
-				t.Fatalf("seed=%d %s: %v", seed, filepath.Ext(path), err)
+				t.Fatalf("seed=%d %s: %v", seed, name, err)
 			}
 			if res.Trials != 3 || len(res.Estimates) != 3 {
-				t.Fatalf("seed=%d %s: malformed result %+v", seed, filepath.Ext(path), res)
+				t.Fatalf("seed=%d %s: malformed result %+v", seed, name, res)
 			}
 		}
 	}

@@ -26,6 +26,9 @@ type GroupOptions struct {
 	// negative = disabled). Scans are shared, so the policy is group-wide;
 	// per-request Options.RetryAttempts is ignored.
 	RetryAttempts int
+	// PreferMmap serves .bex v2 files (and .bexd parts) through the
+	// mmap-backed reader; see Options.PreferMmap.
+	PreferMmap bool
 }
 
 // GroupKappa is the shared degeneracy resolution of a ScanGroup: the
@@ -66,6 +69,7 @@ type GroupKappa struct {
 // (see Scans).
 type ScanGroup struct {
 	path     string
+	backend  string
 	src      stream.Stream
 	m        int
 	vertices int // 1 + max vertex ID, discovered by the opening scan
@@ -88,7 +92,7 @@ func OpenScanGroup(ctx context.Context, path string, gopts GroupOptions) (*ScanG
 		ctx = context.Background()
 	}
 	retry := retryPolicy(Options{RetryAttempts: gopts.RetryAttempts})
-	fs, err := stream.OpenAuto(path)
+	fs, err := stream.OpenAutoPrefer(path, gopts.PreferMmap)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +107,7 @@ func OpenScanGroup(ctx context.Context, path string, gopts GroupOptions) (*ScanG
 	}
 	g := &ScanGroup{
 		path:     path,
+		backend:  stream.BackendOf(fs),
 		src:      fs,
 		m:        m,
 		vertices: maxID + 1,
@@ -115,6 +120,10 @@ func OpenScanGroup(ctx context.Context, path string, gopts GroupOptions) (*ScanG
 
 // Path returns the file the group serves.
 func (g *ScanGroup) Path() string { return g.path }
+
+// Backend returns the storage backend the group's stream is served from
+// ("text", "bex1", "bex2", "bex2-mmap", "bexd").
+func (g *ScanGroup) Backend() string { return g.backend }
 
 // M returns the number of edges in the stream.
 func (g *ScanGroup) M() int { return g.m }
@@ -257,6 +266,7 @@ func (g *ScanGroup) Estimate(ctx context.Context, opts Options) (Result, error) 
 				DegeneracyApprox: true,
 				Passes:           peel.Passes,
 				Aborted:          true,
+				Backend:          g.backend,
 			}, nil
 		}
 	}
@@ -293,6 +303,7 @@ func (g *ScanGroup) Estimate(ctx context.Context, opts Options) (Result, error) 
 		Aborted:          res.Aborted,
 		Partial:          res.Partial,
 		Retries:          res.Retries,
+		Backend:          g.backend,
 	}, nil
 }
 
@@ -349,5 +360,6 @@ func (g *ScanGroup) EstimateCliques(ctx context.Context, opts CliqueOptions) (Re
 		Edges:            g.m,
 		DegeneracyBound:  kappa,
 		DegeneracyApprox: approx,
+		Backend:          g.backend,
 	}, nil
 }

@@ -56,6 +56,9 @@ type TrialsResult struct {
 	// every fused scan (resource accounting only; retries never change the
 	// estimates).
 	Retries int
+	// Backend is the storage backend the stream was served from (see
+	// Result.Backend).
+	Backend string
 }
 
 // EstimateFileTrials runs the streaming estimator several times over one
@@ -82,7 +85,7 @@ func EstimateFileTrialsCtx(ctx context.Context, path string, opts Options, trial
 	if trials < 1 {
 		return TrialsResult{}, fmt.Errorf("triangle: trials must be positive, got %d", trials)
 	}
-	fs, err := stream.OpenAuto(path)
+	fs, err := stream.OpenAutoPrefer(path, opts.PreferMmap)
 	if err != nil {
 		return TrialsResult{}, err
 	}
@@ -97,7 +100,7 @@ func EstimateFileTrialsCtx(ctx context.Context, path string, opts Options, trial
 	if seed == 0 {
 		seed = 1
 	}
-	out := TrialsResult{Trials: trials}
+	out := TrialsResult{Trials: trials, Backend: stream.BackendOf(fs)}
 	preludePasses := 0
 
 	// Discover m, fusing the degeneracy peel's vertex-ID discovery into the

@@ -20,6 +20,70 @@ func writeHolmeKimFile(t *testing.T, path string, n, k int) int64 {
 	return g.TriangleCount()
 }
 
+// TestTrialsBitIdenticalAcrossBackends is the storage-refactor acceptance
+// pin at the trials layer: the same canonical stream served from text, flat
+// .bex v1, block-indexed .bex v2 (buffered and mmap), and a sharded .bexd
+// directory must produce identical per-trial estimates at every worker
+// count — the storage format is an I/O detail, never a semantic one. It also
+// pins that each run reports the backend it actually used.
+func TestTrialsBitIdenticalAcrossBackends(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "g.txt")
+	writeHolmeKimFile(t, txt, 3000, 4)
+	reEncode := func(name string, w func(s stream.Stream) (int, error)) {
+		t.Helper()
+		src, err := stream.OpenAuto(txt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		if _, err := w(src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	bex1 := filepath.Join(dir, "g.v1.bex")
+	bex2 := filepath.Join(dir, "g.bex")
+	bexd := filepath.Join(dir, "g.bexd")
+	reEncode("bex1", func(s stream.Stream) (int, error) { return stream.WriteBexFile(bex1, s) })
+	reEncode("bex2", func(s stream.Stream) (int, error) { return stream.WriteBex2File(bex2, s, 128) })
+	reEncode("bexd", func(s stream.Stream) (int, error) { return stream.WriteBexd(bexd, s, 128, 1024) })
+
+	backends := []struct {
+		name string
+		path string
+		mmap bool
+	}{
+		{stream.BackendText, txt, false},
+		{stream.BackendBex1, bex1, false},
+		{stream.BackendBex2, bex2, false},
+		{stream.BackendBex2Mmap, bex2, true},
+		{stream.BackendBexd, bexd, false},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var want []float64
+		for _, b := range backends {
+			opts := triangle.Options{Epsilon: 0.3, Seed: 11, Workers: workers, PreferMmap: b.mmap}
+			res, err := triangle.EstimateFileTrials(b.path, opts, 3)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", b.name, workers, err)
+			}
+			if res.Backend != b.name {
+				t.Fatalf("%s workers=%d: reported backend %q", b.name, workers, res.Backend)
+			}
+			if want == nil {
+				want = res.Estimates
+				continue
+			}
+			for i := range want {
+				if res.Estimates[i] != want[i] {
+					t.Fatalf("%s workers=%d trial %d: estimate %v, text gave %v",
+						b.name, workers, i, res.Estimates[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestEstimateFileTrialsMatchesSingleRuns pins the -trials contract: trial i
 // of a fused EstimateFileTrials run reproduces exactly the estimate a plain
 // EstimateFile call with seed base+i·7919 returns, while the whole fused run

@@ -75,6 +75,11 @@ type Options struct {
 	// run is bit-identical to an undisturbed one — Result.Retries reports
 	// only the extra I/O spent.
 	RetryAttempts int
+	// PreferMmap serves .bex v2 inputs (and the parts of a .bexd directory)
+	// through the mmap-backed reader instead of buffered positioned reads.
+	// Purely an I/O preference: estimates are bit-identical either way.
+	// Formats without an mmap reader (text, .bex v1) ignore it.
+	PreferMmap bool
 	// WrapStream, when non-nil, wraps every stream the estimator opens before
 	// any pass runs over it. This is a development hook — it exists for fault
 	// injection (internal/faultio, the hidden trianglecount -inject flag) and
@@ -120,6 +125,10 @@ type Result struct {
 	// scans performed. Retries never change the estimate (scans resume
 	// positionally); the count is resource accounting, like Passes and Scans.
 	Retries int
+	// Backend is the storage backend the stream was served from ("memory",
+	// "text", "bex1", "bex2", "bex2-mmap", "bexd"). Reporting only — the
+	// estimate is bit-identical across backends.
+	Backend string
 }
 
 // Stats summarizes a graph's triangle-relevant structure.
@@ -258,7 +267,9 @@ func EstimateCtx(ctx context.Context, edges []Edge, opts Options) (Result, error
 			}
 		}
 	}
-	return estimateStream(ctx, src, opts, kappa)
+	res, err := estimateStream(ctx, src, opts, kappa)
+	res.Backend = stream.BackendMemory
+	return res, err
 }
 
 // EstimateFile runs the streaming estimator over an edge file (text edge
@@ -280,11 +291,12 @@ func EstimateFile(path string, opts Options) (Result, error) {
 // EstimateFileCtx is EstimateFile honoring a context; see EstimateCtx for
 // the cancellation, degradation, and retry semantics.
 func EstimateFileCtx(ctx context.Context, path string, opts Options) (Result, error) {
-	fs, err := stream.OpenAuto(path)
+	fs, err := stream.OpenAutoPrefer(path, opts.PreferMmap)
 	if err != nil {
 		return Result{}, err
 	}
 	defer fs.Close()
+	backend := stream.BackendOf(fs)
 	var src stream.Stream = fs
 	if opts.WrapStream != nil {
 		src = opts.WrapStream(src)
@@ -317,6 +329,7 @@ func EstimateFileCtx(ctx context.Context, path string, opts Options) (Result, er
 	}
 	res, err := estimateStream(ctx, src, opts, kappa)
 	res.Retries += preludeRetries
+	res.Backend = backend
 	return res, err
 }
 
