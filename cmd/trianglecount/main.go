@@ -56,6 +56,8 @@ func main() {
 		mult    = flag.Float64("multiplier", 1, "sample-size multiplier (>1 trades space for accuracy)")
 		workers = flag.Int("workers", 0, "shard workers per pass (0 = all cores); the estimate is identical at any setting")
 		mmap    = flag.Bool("mmap", false, "serve .bex v2 inputs through the mmap-backed reader (I/O preference only; the estimate is identical)")
+		noSIMD  = flag.Bool("no-simd", false, "debug: decode .bex v2 blocks with the scalar kernel even where the vectorized one exists; the estimate is identical")
+		dcache  = flag.Int64("decode-cache", stream.DefaultDecodeCacheBytes, "byte budget of the decoded-block cache serving repeat .bex v2 block reads (0 disables); the estimate is identical")
 		trials  = flag.Int("trials", 1, "independent estimator runs over keyed seeds (trial 0 = -seed), fused onto shared physical scans; reports mean ± stderr")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); a run interrupted mid-search reports its best estimate so far as partial")
 		retries = flag.Int("retries", 0, "transient I/O fault retry attempts per scan (0 = default 3, negative = disabled); retries never change the estimate")
@@ -83,6 +85,8 @@ func main() {
 		defer cancel()
 	}
 
+	stream.SetSIMDDecode(!*noSIMD)
+	stream.SetDecodeCacheBudget(*dcache)
 	opts := triangle.Options{
 		Epsilon:          *epsilon,
 		Degeneracy:       *kappa,
@@ -93,6 +97,7 @@ func main() {
 		Workers:          *workers,
 		RetryAttempts:    *retries,
 		PreferMmap:       *mmap,
+		DecodeCache:      *dcache > 0,
 	}
 	if *inject != "" {
 		plan, err := faultio.ParsePlan(*inject)
@@ -131,7 +136,7 @@ func main() {
 		fmt.Println()
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
-		fmt.Printf("backend:             %s\n", res.Backend)
+		fmt.Printf("backend:             %s\n", stream.DescribeBackend(res.Backend, opts.DecodeCache))
 		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: at least one trial hit the space cutoff; the mean is unreliable")
@@ -147,7 +152,7 @@ func main() {
 		fmt.Printf("estimated triangles: %.1f\n", res.Estimate)
 		fmt.Printf("edges:               %d\n", res.Edges)
 		fmt.Printf("degeneracy bound:    %d (%s)\n", res.DegeneracyBound, kappaSource(res.DegeneracyApprox, *kappa))
-		fmt.Printf("backend:             %s\n", res.Backend)
+		fmt.Printf("backend:             %s\n", stream.DescribeBackend(res.Backend, opts.DecodeCache))
 		fmt.Printf("cost:                passes=%d scans=%d retries=%d space=%d words\n", res.Passes, res.Scans, res.Retries, res.SpaceWords)
 		if res.Aborted {
 			fmt.Println("warning: run aborted at the space cutoff; the estimate is unreliable")

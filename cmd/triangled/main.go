@@ -40,7 +40,17 @@ import (
 
 	"degentri/internal/buildinfo"
 	"degentri/internal/server"
+	"degentri/internal/stream"
 )
+
+// decodeCacheConfig maps the -decode-cache flag to Config.DecodeCacheBytes,
+// where 0 means "default" — so an explicit 0 (disable) becomes negative.
+func decodeCacheConfig(bytes int64) int64 {
+	if bytes <= 0 {
+		return -1
+	}
+	return bytes
+}
 
 const (
 	exitInternal = 1
@@ -93,6 +103,8 @@ func runServe(args []string) {
 		workers    = fs.Int("workers", 0, "shard workers per physical scan (0 = all cores)")
 		retries    = fs.Int("retries", 0, "transient I/O retry attempts per scan (0 = default 3, negative = disabled)")
 		mmap       = fs.Bool("mmap", false, "serve .bex v2 graphs through the mmap-backed reader (I/O preference only)")
+		noSIMD     = fs.Bool("no-simd", false, "debug: decode .bex v2 blocks with the scalar kernel even where the vectorized one exists; results are identical")
+		dcache     = fs.Int64("decode-cache", stream.DefaultDecodeCacheBytes, "byte budget of the decoded-block cache serving repeat .bex v2 block reads (0 disables); results are identical")
 		maxConc    = fs.Int("max-concurrent", 0, "execution slots (0 = 2x cores)")
 		queue      = fs.Int("queue", 64, "bounded queue depth; requests beyond it are shed with 429")
 		ceiling    = fs.Int64("ceiling", 1<<26, "aggregate admitted space-budget ceiling, words")
@@ -122,6 +134,8 @@ func runServe(args []string) {
 		Workers:            *workers,
 		RetryAttempts:      *retries,
 		PreferMmap:         *mmap,
+		DisableSIMD:        *noSIMD,
+		DecodeCacheBytes:   decodeCacheConfig(*dcache),
 		MaxConcurrent:      *maxConc,
 		QueueDepth:         *queue,
 		SpaceCeilingWords:  *ceiling,

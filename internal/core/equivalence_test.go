@@ -26,8 +26,9 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 	// in-memory goldens use, so every backend replays identical streams.
 	type backend struct {
 		name        string
-		open        func() (stream.Stream, func(), error)
-		extraPasses int // counting pass for sources of unknown length
+		open        func(cache bool) (stream.Stream, func(), error)
+		extraPasses int  // counting pass for sources of unknown length
+		v2          bool // has a block decode engine: run every decode mode
 	}
 	backends := map[string][]backend{}
 	for name, w := range graphs {
@@ -57,9 +58,9 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 			t.Fatal(err)
 		}
 		g, seed := w.g, w.streamSeed
-		openPrefer := func(path string, mmap bool) func() (stream.Stream, func(), error) {
-			return func() (stream.Stream, func(), error) {
-				src, err := stream.OpenAutoPrefer(path, mmap)
+		openPrefer := func(path string, mmap bool) func(bool) (stream.Stream, func(), error) {
+			return func(cache bool) (stream.Stream, func(), error) {
+				src, err := stream.OpenAutoOpts(path, stream.OpenOptions{PreferMmap: mmap, DecodeCache: cache})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -67,16 +68,36 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 			}
 		}
 		backends[name] = []backend{
-			{"memory", func() (stream.Stream, func(), error) {
+			{"memory", func(bool) (stream.Stream, func(), error) {
 				return stream.FromGraphShuffled(g, seed), func() {}, nil
-			}, 0},
-			{"text", openPrefer(txt, false), 1},
-			{"bex1", openPrefer(bex1, false), 0},
-			{"bex2", openPrefer(bex2, false), 0},
-			{"bex2-mmap", openPrefer(bex2, true), 0},
-			{"bexd", openPrefer(bexd, false), 0},
+			}, 0, false},
+			{"text", openPrefer(txt, false), 1, false},
+			{"bex1", openPrefer(bex1, false), 0, false},
+			{"bex2", openPrefer(bex2, false), 0, true},
+			{"bex2-mmap", openPrefer(bex2, true), 0, true},
+			{"bexd", openPrefer(bexd, false), 0, true},
 		}
 	}
+
+	// Decode modes: the v2-family backends additionally run under every
+	// {kernel} × {decoded-block cache} combination — all four must realize
+	// the golden values bit for bit (PR 10's decode engine is an I/O
+	// optimization, never an estimator change). Other backends have no block
+	// decoder and run the default mode once.
+	type decodeMode struct {
+		name  string
+		simd  bool
+		cache bool
+	}
+	defaultMode := decodeMode{"", stream.SIMDDecodeEnabled(), false}
+	v2Modes := []decodeMode{
+		defaultMode,
+		{"/scalar", false, false},
+		{"/cache", stream.SIMDDecodeEnabled(), true},
+		{"/scalar+cache", false, true},
+	}
+	defer stream.SetSIMDDecode(true)
+	defer stream.SetDecodeCacheBudget(stream.DefaultDecodeCacheBytes)
 
 	for _, gc := range goldenCases {
 		w := graphs[gc.workload]
@@ -87,36 +108,44 @@ func TestGoldenEquivalenceAcrossWorkersAndBackends(t *testing.T) {
 
 		for _, workers := range []int{1, 2, 4, 8} {
 			for _, b := range backends[gc.workload] {
-				src, closeSrc, err := b.open()
-				if err != nil {
-					t.Fatal(err)
+				modes := []decodeMode{defaultMode}
+				if b.v2 {
+					modes = v2Modes
 				}
-				runCfg := cfg
-				runCfg.Workers = workers
-				res, err := core.EstimateTriangles(src, runCfg)
-				closeSrc()
-				label := gc.workload + "/" + b.name
-				if err != nil {
-					t.Fatalf("%s/%v/seed=%d/workers=%d: %v", label, gc.rule, gc.seed, workers, err)
-				}
-				if res.Estimate != gc.estimate {
-					t.Errorf("%s/%v/seed=%d/workers=%d: estimate = %.17g, golden %.17g",
-						label, gc.rule, gc.seed, workers, res.Estimate, gc.estimate)
-				}
-				if res.TrianglesFound != gc.found || res.TrianglesAssigned != gc.assigned ||
-					res.DistinctTriangles != gc.distinct {
-					t.Errorf("%s/%v/seed=%d/workers=%d: found/assigned/distinct = %d/%d/%d, golden %d/%d/%d",
-						label, gc.rule, gc.seed, workers,
-						res.TrianglesFound, res.TrianglesAssigned, res.DistinctTriangles,
-						gc.found, gc.assigned, gc.distinct)
-				}
-				if res.SpaceWords != gc.spaceWords {
-					t.Errorf("%s/%v/seed=%d/workers=%d: space = %d words, golden %d",
-						label, gc.rule, gc.seed, workers, res.SpaceWords, gc.spaceWords)
-				}
-				if want := gc.passes + b.extraPasses; res.Passes != want {
-					t.Errorf("%s/%v/seed=%d/workers=%d: passes = %d, want %d",
-						label, gc.rule, gc.seed, workers, res.Passes, want)
+				for _, mode := range modes {
+					stream.SetSIMDDecode(mode.simd)
+					src, closeSrc, err := b.open(mode.cache)
+					if err != nil {
+						t.Fatal(err)
+					}
+					runCfg := cfg
+					runCfg.Workers = workers
+					res, err := core.EstimateTriangles(src, runCfg)
+					closeSrc()
+					stream.SetSIMDDecode(true)
+					label := gc.workload + "/" + b.name + mode.name
+					if err != nil {
+						t.Fatalf("%s/%v/seed=%d/workers=%d: %v", label, gc.rule, gc.seed, workers, err)
+					}
+					if res.Estimate != gc.estimate {
+						t.Errorf("%s/%v/seed=%d/workers=%d: estimate = %.17g, golden %.17g",
+							label, gc.rule, gc.seed, workers, res.Estimate, gc.estimate)
+					}
+					if res.TrianglesFound != gc.found || res.TrianglesAssigned != gc.assigned ||
+						res.DistinctTriangles != gc.distinct {
+						t.Errorf("%s/%v/seed=%d/workers=%d: found/assigned/distinct = %d/%d/%d, golden %d/%d/%d",
+							label, gc.rule, gc.seed, workers,
+							res.TrianglesFound, res.TrianglesAssigned, res.DistinctTriangles,
+							gc.found, gc.assigned, gc.distinct)
+					}
+					if res.SpaceWords != gc.spaceWords {
+						t.Errorf("%s/%v/seed=%d/workers=%d: space = %d words, golden %d",
+							label, gc.rule, gc.seed, workers, res.SpaceWords, gc.spaceWords)
+					}
+					if want := gc.passes + b.extraPasses; res.Passes != want {
+						t.Errorf("%s/%v/seed=%d/workers=%d: passes = %d, want %d",
+							label, gc.rule, gc.seed, workers, res.Passes, want)
+					}
 				}
 			}
 		}

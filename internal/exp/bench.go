@@ -223,6 +223,31 @@ func BenchSweep(opts BenchOptions) (*benchfmt.File, *Table, error) {
 			Value: best2 / bk.EdgesPerS1, Unit: "x",
 			Better: benchfmt.BetterHigher, Class: benchfmt.ClassTiming, RelTol: 0.60,
 		}
+
+		// Hot re-scan throughput (PR 10): same open stream, warm decoded-block
+		// cache for v2, median of nine re-scans. The hot speedup is the decode
+		// engine's headline number — the tentpole goal is ratio >= 1 (v2 at
+		// least at v1 parity once re-scans skip the decode). Warn-only.
+		bw.Metrics["edges_per_s.hot.bex1"] = benchfmt.Metric{
+			Value: bk.HotEdgesPerS1, Unit: "edges/s",
+			Better: benchfmt.BetterHigher, Class: benchfmt.ClassTiming, RelTol: 0.60,
+		}
+		bw.Metrics["edges_per_s.hot.bex2"] = benchfmt.Metric{
+			Value: bk.HotEdgesPerS2, Unit: "edges/s",
+			Better: benchfmt.BetterHigher, Class: benchfmt.ClassTiming, RelTol: 0.60,
+		}
+		bw.Metrics["edges_per_s.hot.bex2_mmap"] = benchfmt.Metric{
+			Value: bk.HotEdgesPerSMmap, Unit: "edges/s",
+			Better: benchfmt.BetterHigher, Class: benchfmt.ClassTiming, RelTol: 0.60,
+		}
+		hot2 := bk.HotEdgesPerS2
+		if bk.HotEdgesPerSMmap > hot2 {
+			hot2 = bk.HotEdgesPerSMmap
+		}
+		bw.Metrics["speedup.hot.bex2_vs_bex1"] = benchfmt.Metric{
+			Value: hot2 / bk.HotEdgesPerS1, Unit: "x",
+			Better: benchfmt.BetterHigher, Class: benchfmt.ClassTiming, RelTol: 0.60,
+		}
 		bw.Metrics["wall_ms.sweep"] = benchfmt.Metric{
 			Value: float64(time.Since(sweepStart).Milliseconds()), Unit: "ms",
 			Better: benchfmt.BetterLower, Class: benchfmt.ClassTiming, RelTol: 1.0,
@@ -363,6 +388,10 @@ func benchInvariance(w Workload) error {
 type BackendBench struct {
 	Bytes1, Bytes2                        int64
 	EdgesPerS1, EdgesPerS2, EdgesPerSMmap float64
+	// Hot re-scan throughput (PR 10): the same open stream re-scanned after
+	// a warm-up pass, so v2 serves from the decoded-block cache and v1 from
+	// the page cache — the estimator's 2nd..Nth logical pass economy.
+	HotEdgesPerS1, HotEdgesPerS2, HotEdgesPerSMmap float64
 }
 
 // benchBackends re-encodes the workload's cached .bex v2 file as legacy v1 in
@@ -432,6 +461,52 @@ func benchBackends(w Workload) (BackendBench, error) {
 		return bk, err
 	}
 	if bk.EdgesPerSMmap, err = time1(func() (stream.FileBacked, error) { return stream.OpenBexMap(w.Path) }); err != nil {
+		return bk, err
+	}
+
+	// Hot re-scan: one open stream, one warm-up pass, then the median of nine
+	// timed re-scans. This is the pass the estimator actually repeats O(log n)
+	// times: v2 streams run with the decoded-block cache so warm blocks skip
+	// the varint decode entirely, v1 re-reads its flat bytes from the page
+	// cache. The tentpole goal — v2 hot re-scan at least at v1 parity — is
+	// recorded as a warn-only timing metric, like every other throughput.
+	timeHot := func(open func() (stream.FileBacked, error)) (float64, error) {
+		s, err := open()
+		if err != nil {
+			return 0, fmt.Errorf("exp: bench %s: %w", w.Name, err)
+		}
+		defer s.Close()
+		if _, err := stream.CountEdges(s); err != nil { // warm-up pass
+			return 0, fmt.Errorf("exp: bench %s: %w", w.Name, err)
+		}
+		const rounds = 9
+		rates := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			m, err := stream.CountEdges(s)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return 0, fmt.Errorf("exp: bench %s: %w", w.Name, err)
+			}
+			if elapsed <= 0 {
+				elapsed = 1e-9
+			}
+			rates = append(rates, float64(m)/elapsed)
+		}
+		sort.Float64s(rates)
+		return rates[rounds/2], nil
+	}
+	if bk.HotEdgesPerS1, err = timeHot(func() (stream.FileBacked, error) { return stream.OpenBex(v1Path) }); err != nil {
+		return bk, err
+	}
+	if bk.HotEdgesPerS2, err = timeHot(func() (stream.FileBacked, error) {
+		return stream.OpenAutoOpts(w.Path, stream.OpenOptions{DecodeCache: true})
+	}); err != nil {
+		return bk, err
+	}
+	if bk.HotEdgesPerSMmap, err = timeHot(func() (stream.FileBacked, error) {
+		return stream.OpenAutoOpts(w.Path, stream.OpenOptions{PreferMmap: true, DecodeCache: true})
+	}); err != nil {
 		return bk, err
 	}
 	return bk, nil

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+
+	"degentri/internal/stream"
 )
 
 // metrics is the daemon's counter set, exposed as Prometheus-style text at
@@ -60,6 +62,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("triangled_group_builds_total", "ScanGroup builds and rebuilds.", m.groupBuilds.Load())
 	counter("triangled_breaker_trips_total", "Breaker trips into quarantine.", m.breakerTrips.Load())
 	counter("triangled_breaker_io_failures_total", "I/O outcomes fed to graph breakers.", m.ioFailures.Load())
+
+	dc := stream.ReadDecodeCacheStats()
+	counter("triangled_decode_cache_hits_total", "Decoded-block cache hits (blocks served without decode).", dc.Hits)
+	counter("triangled_decode_cache_misses_total", "Decoded-block cache misses.", dc.Misses)
+	counter("triangled_decode_cache_evictions_total", "Decoded blocks evicted under the byte budget.", dc.Evictions)
+	gauge("triangled_decode_cache_bytes", "Bytes of decoded blocks resident in the cache.", dc.Bytes)
+	gauge("triangled_decode_cache_entries", "Decoded blocks resident in the cache.", dc.Entries)
 
 	busy, queued, admitted := s.adm.gauges()
 	gauge("triangled_slots_busy", "Execution slots in use.", int64(busy))

@@ -84,6 +84,7 @@ func (e *graphEntry) acquire(ctx context.Context) (*triangle.ScanGroup, func(), 
 			Workers:       e.srv.cfg.Workers,
 			RetryAttempts: e.srv.cfg.RetryAttempts,
 			PreferMmap:    e.srv.cfg.PreferMmap,
+			DecodeCache:   e.srv.cfg.decodeCacheEnabled(),
 		})
 
 		e.mu.Lock()
@@ -176,7 +177,9 @@ func (e *graphEntry) snapshot() graphStatus {
 	switch {
 	case r != nil:
 		st.State = "ready"
-		st.Backend = r.g.Backend()
+		// Status and /metrics show the decorated backend ("bex2/ssse3+cache")
+		// so operators can see the active decode engine at a glance.
+		st.Backend = stream.DescribeBackend(r.g.Backend(), e.srv.cfg.decodeCacheEnabled())
 		st.Edges = r.g.M()
 		st.Scans = r.g.Scans()
 		st.Carried = r.g.Carried()

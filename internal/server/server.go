@@ -28,6 +28,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"degentri/internal/stream"
 )
 
 // Config configures a Server. The zero value of every limit means "use the
@@ -44,6 +46,14 @@ type Config struct {
 	// PreferMmap serves .bex v2 graphs (and .bexd parts) through the
 	// mmap-backed reader; estimates are identical either way.
 	PreferMmap bool
+	// DecodeCacheBytes is the budget of the process-wide decoded-block
+	// cache serving repeat .bex v2 block reads (0 = the stream default of
+	// 64 MiB, negative = disabled). Estimates are identical either way.
+	DecodeCacheBytes int64
+	// DisableSIMD turns the vectorized .bex v2 block decoder off for the
+	// process (the -no-simd escape hatch); decoded edges are identical
+	// either way.
+	DisableSIMD bool
 
 	// MaxConcurrent is the execution slot count. Default 2×GOMAXPROCS,
 	// floored at 4.
@@ -111,7 +121,14 @@ func (c *Config) fillDefaults() {
 	if c.BreakerBackoffMax <= 0 {
 		c.BreakerBackoffMax = 30 * time.Second
 	}
+	if c.DecodeCacheBytes == 0 {
+		c.DecodeCacheBytes = stream.DefaultDecodeCacheBytes
+	}
 }
+
+// decodeCacheEnabled reports whether graphs are served with the
+// decoded-block cache (after fillDefaults, negative means disabled).
+func (c *Config) decodeCacheEnabled() bool { return c.DecodeCacheBytes > 0 }
 
 // Server is the daemon. Create with New, mount Handler on an http.Server,
 // and call Drain on SIGTERM.
@@ -137,6 +154,10 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("server: no graphs registered")
 	}
+	// Process-wide decode engine knobs: the daemon owns its process, so its
+	// config is the authority on them.
+	stream.SetSIMDDecode(!cfg.DisableSIMD)
+	stream.SetDecodeCacheBudget(cfg.DecodeCacheBytes)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,

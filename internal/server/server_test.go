@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -423,5 +424,91 @@ func TestConcurrentRequestsShareScans(t *testing.T) {
 	}
 	if graphs[0].Live != 0 {
 		t.Errorf("live clients = %d after all requests returned", graphs[0].Live)
+	}
+}
+
+// TestDecodeEngineSurface pins the operator-visible decode engine: a v2
+// graph served with the decoded-block cache reports the decorated backend
+// ("bex2/<kernel>+cache") in /graphs, /metrics exposes the cache counters,
+// and repeat queries against the warm group actually hit the cache. A daemon
+// configured with the cache disabled drops the "+cache" suffix.
+func TestDecodeEngineSurface(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "g.txt")
+	writeGraph(t, txt, 1500, 5, 11)
+	src := stream.OpenFile(txt)
+	path := filepath.Join(dir, "g.bex")
+	if _, err := stream.WriteBex2File(path, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	s, err := New(Config{Graphs: map[string]string{"g": path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var first, second estimateResponse
+	if code := get(t, ts.Client(), ts.URL+"/estimate?graph=g&seed=3", &first); code != http.StatusOK {
+		t.Fatalf("estimate: status %d", code)
+	}
+	before := stream.ReadDecodeCacheStats()
+	if code := get(t, ts.Client(), ts.URL+"/estimate?graph=g&seed=3", &second); code != http.StatusOK {
+		t.Fatalf("repeat estimate: status %d", code)
+	}
+	if first.Estimate != second.Estimate {
+		t.Fatalf("repeat estimate %v != first %v (cache changed the result)", second.Estimate, first.Estimate)
+	}
+	after := stream.ReadDecodeCacheStats()
+	if after.Hits == before.Hits {
+		t.Errorf("repeat query against the warm group recorded no cache hits")
+	}
+
+	var graphs []graphStatus
+	get(t, ts.Client(), ts.URL+"/graphs", &graphs)
+	want := stream.DescribeBackend(stream.BackendBex2, true)
+	if graphs[0].Backend != want {
+		t.Errorf("backend = %q, want %q", graphs[0].Backend, want)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"triangled_decode_cache_hits_total",
+		"triangled_decode_cache_misses_total",
+		"triangled_decode_cache_evictions_total",
+		"triangled_decode_cache_bytes",
+		"triangled_decode_cache_entries",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	// Cache off: the decoration drops the suffix and the config round-trips
+	// through the negative-means-disabled convention.
+	s2, err := New(Config{Graphs: map[string]string{"g": path}, DecodeCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		s2.Close()
+		stream.SetDecodeCacheBudget(stream.DefaultDecodeCacheBytes)
+	}()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if code := get(t, ts2.Client(), ts2.URL+"/estimate?graph=g&seed=3", &first); code != http.StatusOK {
+		t.Fatalf("uncached estimate: status %d", code)
+	}
+	get(t, ts2.Client(), ts2.URL+"/graphs", &graphs)
+	if want := stream.DescribeBackend(stream.BackendBex2, false); graphs[0].Backend != want {
+		t.Errorf("uncached backend = %q, want %q", graphs[0].Backend, want)
 	}
 }

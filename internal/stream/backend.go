@@ -28,3 +28,21 @@ func BackendOf(s Stream) string {
 	}
 	return BackendMemory
 }
+
+// DescribeBackend decorates a backend name with the active decode engine for
+// display ("bex2/ssse3+cache", "bexd/scalar", ...). Only the v2 family has a
+// decode engine to report; other backends pass through unchanged. This is a
+// presentation helper for status lines — stored results keep the plain
+// backend name, which stays identical across kernels and cache modes because
+// the decoded edges do.
+func DescribeBackend(backend string, cache bool) string {
+	switch backend {
+	case BackendBex2, BackendBex2Mmap, BackendBexd:
+		d := backend + "/" + DecodeKernelName()
+		if cache {
+			d += "+cache"
+		}
+		return d
+	}
+	return backend
+}

@@ -255,3 +255,53 @@ func BenchmarkShardedPassWorkers1(b *testing.B) { benchmarkShardedPass(b, 1) }
 
 // BenchmarkShardedPassWorkers4 measures the engine's parallel path.
 func BenchmarkShardedPassWorkers4(b *testing.B) { benchmarkShardedPass(b, 4) }
+
+// benchmarkBex2Decode measures a full pass over a v2 file written with
+// 8K-edge blocks (the tentpole's reference block size) under one decode
+// mode: scalar kernel, vectorized kernel, or cache hits (vectorized decode
+// once, then every pass served from the decoded-block cache).
+func benchmarkBex2Decode(b *testing.B, simd, cache bool) {
+	b.Helper()
+	edges := benchEdges(1 << 17) // 16 blocks of 8192 edges
+	path := b.TempDir() + "/decode-bench.bex"
+	if _, err := WriteBex2File(path, FromEdges(edges), 8192); err != nil {
+		b.Fatal(err)
+	}
+	defer SetSIMDDecode(true)
+	defer SetDecodeCacheBudget(DefaultDecodeCacheBytes)
+	SetSIMDDecode(simd)
+	SetDecodeCacheBudget(DefaultDecodeCacheBytes)
+	bs, err := OpenAutoOpts(path, OpenOptions{DecodeCache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	m := len(edges)
+	if cache { // warm pass: every later pass is all hits
+		if n, err := CountEdges(bs); err != nil || n != m {
+			b.Fatalf("warm pass: %d, %v", n, err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := CountEdges(bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != m {
+			b.Fatalf("pass saw %d edges, want %d", n, m)
+		}
+	}
+	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkBex2DecodeScalar8K is the scalar baseline at 8K-edge blocks.
+func BenchmarkBex2DecodeScalar8K(b *testing.B) { benchmarkBex2Decode(b, false, false) }
+
+// BenchmarkBex2DecodeSIMD8K is the vectorized kernel at 8K-edge blocks; the
+// PR 10 acceptance bar is >= 2x the scalar baseline on amd64.
+func BenchmarkBex2DecodeSIMD8K(b *testing.B) { benchmarkBex2Decode(b, SIMDDecodeEnabled(), false) }
+
+// BenchmarkBex2DecodeCacheHit8K serves every block from the decoded-block
+// cache — the 2nd..Nth logical pass of a hot estimator scan.
+func BenchmarkBex2DecodeCacheHit8K(b *testing.B) { benchmarkBex2Decode(b, SIMDDecodeEnabled(), true) }

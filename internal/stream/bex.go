@@ -379,20 +379,38 @@ func OpenAuto(path string) (FileBacked, error) {
 // by the mmap-backed reader instead of buffered positioned reads. Formats
 // with no mmap reader (text, v1) ignore the preference.
 func OpenAutoPrefer(path string, mmap bool) (FileBacked, error) {
+	return OpenAutoOpts(path, OpenOptions{PreferMmap: mmap})
+}
+
+// OpenOptions configure how OpenAutoOpts serves a file. The zero value is
+// OpenAuto's behavior: buffered reads, no decoded-block cache.
+type OpenOptions struct {
+	// PreferMmap serves .bex v2 containers (and .bexd parts) through the
+	// mmap-backed reader instead of buffered positioned reads.
+	PreferMmap bool
+	// DecodeCache lets the v2-family readers serve repeat block reads from
+	// the process-wide decoded-block cache (see SetDecodeCacheBudget):
+	// multi-pass scans of the same file skip decode entirely after the
+	// first pass. Results are bit-identical with the cache on or off.
+	DecodeCache bool
+}
+
+// OpenAutoOpts is OpenAuto with explicit reader options.
+func OpenAutoOpts(path string, o OpenOptions) (FileBacked, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
-		return OpenBexdPrefer(path, mmap)
+		return openBexdOpts(path, o.PreferMmap, o.DecodeCache)
 	}
 	if strings.HasSuffix(strings.ToLower(path), BexdExt) {
-		return OpenBexdPrefer(path, mmap)
+		return openBexdOpts(path, o.PreferMmap, o.DecodeCache)
 	}
 	switch sniffMagic(path) {
 	case bexMagic:
 		return OpenBex(path)
 	case bex2Magic:
-		if mmap {
-			return OpenBexMap(path)
+		if o.PreferMmap {
+			return openBexMapCache(path, o.DecodeCache)
 		}
-		return OpenBex2(path)
+		return openBex2Cache(path, o.DecodeCache)
 	}
 	if strings.HasSuffix(strings.ToLower(path), BexExt) {
 		// The .bex extension with an unrecognized magic: let OpenBex report

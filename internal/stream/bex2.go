@@ -8,8 +8,10 @@ import (
 	"os"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"degentri/internal/graph"
+	"degentri/internal/stream/gvdecode"
 )
 
 // The .bex v2 binary edge format: block-indexed, delta-compressed in
@@ -101,6 +103,31 @@ var bex2GVMask = [4]uint64{0xff, 0xffff, 0xffffff, 0xffffffff}
 // bex2CtrlLen is the control-region byte length of a count-edge block.
 func bex2CtrlLen(count int) int { return (2*count + 3) / 4 }
 
+// simdDecode gates the vectorized block-decode kernel (internal/stream/
+// gvdecode). On by default wherever the kernel exists; SetSIMDDecode(false)
+// is the -no-simd escape hatch. Atomic because daemons flip it at startup
+// while tests flip it per-case.
+var simdDecode atomic.Bool
+
+func init() { simdDecode.Store(gvdecode.Available()) }
+
+// SetSIMDDecode enables or disables the vectorized .bex v2 block decoder.
+// Enabling is a no-op on CPUs without the kernel; the scalar decoder is
+// always the fallback and the two produce bit-identical edges and errors.
+func SetSIMDDecode(enable bool) { simdDecode.Store(enable && gvdecode.Available()) }
+
+// SIMDDecodeEnabled reports whether the vectorized block decoder is active.
+func SIMDDecodeEnabled() bool { return simdDecode.Load() }
+
+// DecodeKernelName names the active .bex v2 block-decode kernel ("ssse3" or
+// "scalar") for status lines and diagnostics.
+func DecodeKernelName() string {
+	if simdDecode.Load() {
+		return "ssse3"
+	}
+	return "scalar"
+}
+
 // bex2Block is one decoded footer record.
 type bex2Block struct {
 	firstPos int   // stream position of the block's first edge
@@ -120,6 +147,13 @@ type bex2Meta struct {
 	m          int
 	blockEdges int
 	blocks     []bex2Block
+	// ident is the file's stat identity at open (path, size, mtime) — the
+	// same key shape the text path's index cache uses — and keys this file's
+	// blocks in the decoded-block cache. A rewritten file gets a new
+	// identity, so its old decoded blocks become unreachable rather than
+	// stale. identOK guards the degenerate case of an unstattable source.
+	ident   fileIndexKey
+	identOK bool
 	// verified[k] records that block k's payload CRC has been checked since
 	// open. A block is verified the first time any cursor reads it and never
 	// re-hashed on later passes — multi-pass algorithms (the whole point of
@@ -432,6 +466,8 @@ func readBex2Meta(file *os.File, path string) (*bex2Meta, error) {
 	}
 	return &bex2Meta{
 		path: path, m: m, blockEdges: blockEdges, blocks: blocks,
+		ident:    fileIndexKey{path: path, size: size, mtime: info.ModTime().UnixNano()},
+		identOK:  true,
 		verified: make([]atomic.Bool, blockCount),
 	}, nil
 }
@@ -453,9 +489,43 @@ func decodeBex2Block(path string, idx int, b bex2Block, raw []byte, dst []graph.
 	}
 	nctrl := bex2CtrlLen(b.count)
 	n := len(raw)
+	// The control area must fit before any decode path reads it: a corrupt
+	// footer can claim more edges than the block's bytes can control, and
+	// both the tail's control reads and the kernel's ctrl slice index into
+	// raw[:nctrl] unchecked past this point.
+	if nctrl > n {
+		return fmt.Errorf("stream: %s: block %d holds %d bytes, too few to control %d edges: %w",
+			path, idx, n, b.count, ErrCorruptBlock)
+	}
 	var u, v int64
 	var acc uint64
 	j, p, k := 0, nctrl, 0
+	if groups := b.count / 2; simdDecode.Load() && groups > 0 && n-nctrl >= 16 {
+		// The vectorized kernel covers exactly the scalar main loop's range
+		// (edge pairs while a full 16-byte load window remains) and decodes
+		// straight into dst: graph.Edge is two native ints, which on the
+		// only architectures with a kernel is the [2]int64 layout the kernel
+		// stores. Its int32 lane arithmetic is exact for any block whose
+		// values all lie in [0, 2³¹) — precisely the blocks the scalar acc
+		// check below accepts — and any out-of-range value surfaces as a
+		// sign-bit flag before wraparound can alias it back into range (each
+		// delta's magnitude is under 2³¹, so a prefix cannot skip over the
+		// flagged zone). No flag therefore means the decode, the (u, v)
+		// carry, and the acc verdict so far are all bit-identical to the
+		// scalar path's, and the scalar tail resumes from the kernel's
+		// state; a flag discards the kernel's work entirely and re-decodes
+		// from scratch below, making the scalar path authoritative for the
+		// exact corrupt-block diagnosis.
+		var st gvdecode.State
+		pairs := unsafe.Slice((*[2]int64)(unsafe.Pointer(&dst[0])), b.count)
+		gvdecode.Decode(raw[:nctrl], groups, raw[nctrl:], pairs, &st)
+		if st.Flags == 0 {
+			j = int(st.Done)
+			k = 2 * j
+			p = nctrl + int(st.Consumed)
+			u, v = int64(st.U), int64(st.V)
+		}
+	}
 	for k+2 <= b.count && p+16 <= n {
 		c := raw[j]
 		j++
@@ -528,6 +598,14 @@ type bex2Source interface {
 	block(k int) ([]byte, error)
 	// close releases the source's resources; open may be called again after.
 	close() error
+}
+
+// rangeAdviser is optionally implemented by block sources that can hint the
+// OS about a cursor's upcoming access pattern (the mmap source issues
+// madvise). advise is called by reset, after open, with the cursor's
+// position window.
+type rangeAdviser interface {
+	advise(lo, hi int)
 }
 
 // bex2ReadAhead is how far the buffered source reads past a requested block
@@ -608,12 +686,29 @@ type bex2Cursor struct {
 	decoded []graph.Edge
 	served  int // decoded[:served] already delivered
 	active  bool
+	// cache opts this cursor into the process-wide decoded-block cache:
+	// loads first look the block up by (file identity, ordinal) and serve
+	// hits zero-copy; misses decode into a fresh slice and insert it. Off,
+	// every load decodes into the cursor-owned scratch buffer.
+	cache   bool
+	cached  *blockCacheEntry // pinned entry decoded aliases, nil when none
+	scratch []graph.Edge     // owned decode buffer for uncached loads
+}
+
+// unpin releases the cursor's pinned cache entry, if any. Called whenever
+// decoded stops aliasing it (block advance, reset, close).
+func (c *bex2Cursor) unpin() {
+	if c.cached != nil {
+		decodeCache.release(c.cached)
+		c.cached = nil
+	}
 }
 
 func (c *bex2Cursor) reset() error {
 	c.pos = c.lo
 	c.blk = -1
-	c.decoded = c.decoded[:0]
+	c.unpin()
+	c.decoded = nil
 	c.served = 0
 	c.active = true
 	if c.lo == c.hi {
@@ -623,28 +718,70 @@ func (c *bex2Cursor) reset() error {
 		last := c.meta.blocks[c.meta.findBlock(c.hi-1)]
 		fs.limitOff = last.off + int64(last.length)
 	}
-	return c.src.open()
+	if err := c.src.open(); err != nil {
+		return err
+	}
+	if ad, ok := c.src.(rangeAdviser); ok {
+		ad.advise(c.lo, c.hi)
+	}
+	return nil
 }
 
-// load decodes the block containing c.pos and positions served at it.
+// load decodes (or cache-fetches) the block containing c.pos and positions
+// served at it. The cursor slices the decoded block by stream position the
+// same way regardless of where the edges came from, so batch and shard
+// boundaries — and downstream results at any worker count — are identical
+// with the cache on or off.
 func (c *bex2Cursor) load() error {
 	k := c.meta.findBlock(c.pos)
 	b := c.meta.blocks[k]
+	useCache := c.cache && c.meta.identOK
+	var key blockCacheKey
+	if useCache {
+		key = blockCacheKey{file: c.meta.ident, blk: k}
+		if ent, ok := decodeCache.get(key); ok {
+			c.unpin()
+			c.cached = ent
+			c.decoded = ent.edges
+			c.blk = k
+			c.served = c.pos - b.firstPos
+			return nil
+		}
+	}
 	raw, err := c.src.block(k)
 	if err != nil {
 		return err
 	}
-	if cap(c.decoded) < b.count {
-		c.decoded = make([]graph.Edge, b.count)
+	// Cached blocks are decoded into a fresh slice (entries are immutable
+	// and shared); uncached loads reuse the cursor's scratch buffer.
+	var dst []graph.Edge
+	if useCache {
+		dst = make([]graph.Edge, b.count)
+	} else {
+		if cap(c.scratch) < b.count {
+			c.scratch = make([]graph.Edge, b.count)
+		}
+		dst = c.scratch[:b.count]
 	}
-	c.decoded = c.decoded[:b.count]
 	checkCRC := !c.meta.verified[k].Load()
-	if err := decodeBex2Block(c.meta.path, k, b, raw, c.decoded, checkCRC); err != nil {
+	if err := decodeBex2Block(c.meta.path, k, b, raw, dst, checkCRC); err != nil {
 		return err
 	}
 	if checkCRC {
 		c.meta.verified[k].Store(true)
 	}
+	c.unpin()
+	if useCache {
+		// Insert only after the complete, verified decode above: an error,
+		// cancellation, or injected fault returns before this line, so a
+		// partially-decoded block is never visible to other cursors. A
+		// racing insert yields the first cursor's identical entry.
+		if ent := decodeCache.put(key, dst); ent != nil {
+			c.cached = ent
+			dst = ent.edges
+		}
+	}
+	c.decoded = dst
 	c.blk = k
 	c.served = c.pos - b.firstPos
 	return nil
@@ -657,6 +794,12 @@ func (c *bex2Cursor) nextChunk() ([]graph.Edge, error) {
 		return nil, ErrNoPass
 	}
 	if c.pos >= c.hi {
+		// The pass is exhausted: drop the pin on the final block now rather
+		// than at reset/close, so short-lived range sub-streams (shards are
+		// drained and discarded, never closed) do not pin cache entries for
+		// the life of the parent. Any chunk the caller still aliases stays
+		// valid — eviction only drops residency, the GC owns the memory.
+		c.unpin()
 		return nil, ErrEndOfPass
 	}
 	if c.blk < 0 || c.served >= len(c.decoded) {
@@ -703,7 +846,8 @@ func (c *bex2Cursor) next() (graph.Edge, error) {
 func (c *bex2Cursor) closeCursor() error {
 	c.active = false
 	c.blk = -1
-	c.decoded = c.decoded[:0]
+	c.unpin()
+	c.decoded = nil
 	c.served = 0
 	return c.src.close()
 }
@@ -720,6 +864,10 @@ type Bex2Stream struct {
 // count that disagrees with the file size, or a footer checksum mismatch
 // all fail here rather than mid-pass.
 func OpenBex2(path string) (*Bex2Stream, error) {
+	return openBex2Cache(path, false)
+}
+
+func openBex2Cache(path string, cache bool) (*Bex2Stream, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: open %s: %w", path, err)
@@ -729,14 +877,15 @@ func OpenBex2(path string) (*Bex2Stream, error) {
 		file.Close()
 		return nil, err
 	}
-	return newBex2Stream(meta, file), nil
+	return newBex2Stream(meta, file, cache), nil
 }
 
-func newBex2Stream(meta *bex2Meta, file *os.File) *Bex2Stream {
+func newBex2Stream(meta *bex2Meta, file *os.File, cache bool) *Bex2Stream {
 	return &Bex2Stream{cur: bex2Cursor{
 		meta: meta,
 		src:  &bex2FileSource{meta: meta, file: file},
 		lo:   0, hi: meta.m,
+		cache: cache,
 	}}
 }
 
@@ -767,6 +916,7 @@ func (b *Bex2Stream) RangeStream(lo, hi int) (Stream, bool) {
 		meta: meta,
 		src:  &bex2FileSource{meta: meta},
 		lo:   lo, hi: hi,
+		cache: b.cur.cache,
 	}}, true
 }
 

@@ -208,6 +208,7 @@ type MultiBexStream struct {
 	man   *BexdManifest
 	metas []*bex2Meta
 	maps  []*bexMapping // non-nil per part when the mmap reader is preferred
+	cache bool          // part cursors use the decoded-block cache
 
 	subs   []Stream // one cursor-backed stream per part, reset lazily
 	idx    int
@@ -227,11 +228,15 @@ func OpenBexd(dir string) (*MultiBexStream, error) {
 // OpenBexdPrefer is OpenBexd with a reader preference: when mmap is true,
 // parts are served by the mmap-backed reader.
 func OpenBexdPrefer(dir string, mmap bool) (*MultiBexStream, error) {
+	return openBexdOpts(dir, mmap, false)
+}
+
+func openBexdOpts(dir string, mmap, cache bool) (*MultiBexStream, error) {
 	man, err := ReadBexdManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	ms := &MultiBexStream{dir: dir, man: man, metas: make([]*bex2Meta, len(man.Parts))}
+	ms := &MultiBexStream{dir: dir, man: man, metas: make([]*bex2Meta, len(man.Parts)), cache: cache}
 	if mmap {
 		ms.maps = make([]*bexMapping, len(man.Parts))
 	}
@@ -278,7 +283,7 @@ func (ms *MultiBexStream) partStream(i, lo, hi int) Stream {
 	} else {
 		src = &bex2FileSource{meta: meta}
 	}
-	return &bex2Range{cur: bex2Cursor{meta: meta, src: src, lo: lo, hi: hi}}
+	return &bex2Range{cur: bex2Cursor{meta: meta, src: src, lo: lo, hi: hi, cache: ms.cache}}
 }
 
 // Reset implements Stream.

@@ -52,6 +52,34 @@ func (m *bexMapping) release() error {
 	return unmapFile(data)
 }
 
+// adviseSequential hints the kernel the whole mapping will be read in
+// order (MADV_SEQUENTIAL: readahead doubled, read-behind dropped). The
+// caller must hold a reference.
+func (m *bexMapping) adviseSequential() {
+	m.mu.Lock()
+	data := m.data
+	m.mu.Unlock()
+	if len(data) > 0 {
+		madviseSequential(data)
+	}
+}
+
+// adviseWillNeed hints the kernel the mapped range [off, off+n) is about to
+// be read (MADV_WILLNEED: start faulting those pages in now). The range is
+// widened down to a page boundary as madvise requires. The caller must hold
+// a reference.
+func (m *bexMapping) adviseWillNeed(off int64, n int) {
+	m.mu.Lock()
+	data := m.data
+	m.mu.Unlock()
+	if len(data) == 0 || off < 0 || n <= 0 || off+int64(n) > int64(len(data)) {
+		return
+	}
+	page := int64(os.Getpagesize())
+	lo := off &^ (page - 1)
+	madviseWillNeed(data[lo : off+int64(n)])
+}
+
 // bytes returns the mapped range [off, off+n). The caller must hold a
 // reference (acquire without a matching release).
 func (m *bexMapping) bytes(off int64, n int) ([]byte, error) {
@@ -88,6 +116,24 @@ func (s *bex2MapSource) block(k int) ([]byte, error) {
 	return s.mp.bytes(b.off, b.length)
 }
 
+// advise implements rangeAdviser: a full-file window is hinted as a
+// sequential scan; a sub-range (a shard worker's window, a sliding-window
+// seek) is hinted as about-to-be-needed so the kernel can fault its pages in
+// ahead of the decode. Both are advisory and free on miss.
+func (s *bex2MapSource) advise(lo, hi int) {
+	if !s.held || hi <= lo {
+		return
+	}
+	if lo == 0 && hi == s.meta.m {
+		s.mp.adviseSequential()
+		return
+	}
+	first := s.meta.blocks[s.meta.findBlock(lo)]
+	last := s.meta.blocks[s.meta.findBlock(hi-1)]
+	off := first.off
+	s.mp.adviseWillNeed(off, int(last.off+int64(last.length)-off))
+}
+
 func (s *bex2MapSource) close() error {
 	if !s.held {
 		return nil
@@ -112,6 +158,10 @@ type BexMapStream struct {
 // container validation as OpenBex2. The mapping itself is established on the
 // first Reset.
 func OpenBexMap(path string) (*BexMapStream, error) {
+	return openBexMapCache(path, false)
+}
+
+func openBexMapCache(path string, cache bool) (*BexMapStream, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: open %s: %w", path, err)
@@ -132,6 +182,7 @@ func OpenBexMap(path string) (*BexMapStream, error) {
 			meta: meta,
 			src:  &bex2MapSource{meta: meta, mp: mp},
 			lo:   0, hi: meta.m,
+			cache: cache,
 		},
 		mp: mp,
 	}, nil
@@ -162,6 +213,7 @@ func (b *BexMapStream) RangeStream(lo, hi int) (Stream, bool) {
 		meta: b.cur.meta,
 		src:  &bex2MapSource{meta: b.cur.meta, mp: b.mp},
 		lo:   lo, hi: hi,
+		cache: b.cur.cache,
 	}}, true
 }
 

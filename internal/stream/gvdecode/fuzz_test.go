@@ -1,0 +1,28 @@
+package gvdecode
+
+import "testing"
+
+// FuzzDecodeMatchesRef is the kernel-level half of the decode fuzz harness:
+// on arbitrary control bytes, payload bytes, and carry state, the dispatched
+// kernel (assembly where it exists) must match the portable model bit for
+// bit — same edges, same resume state, same overflow flags — without ever
+// reading out of bounds (the kernel's window arithmetic is exercised by
+// truncated payloads; an out-of-bounds read faults the process under fuzz).
+// The block-level half lives in package stream as FuzzBex2Decode.
+func FuzzDecodeMatchesRef(f *testing.F) {
+	// Seeds: every control byte against a saturated payload, the empty and
+	// sub-window payloads the dispatcher must refuse, and a mixed realistic
+	// group run with a nonzero carry.
+	f.Add([]byte{0x00}, []byte{6, 8, 4, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, int32(0), int32(0))
+	f.Add([]byte{0xFF}, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, int32(1<<30), int32(-5))
+	f.Add([]byte{0x1B, 0xE4, 0x00}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23}, int32(977), int32(991))
+	f.Add([]byte{0x00}, []byte(nil), int32(0), int32(0))
+	f.Add([]byte{0xFF}, make([]byte, 15), int32(0), int32(0))
+
+	f.Fuzz(func(t *testing.T, ctrl, data []byte, u0, v0 int32) {
+		if len(ctrl) > 4096 {
+			ctrl = ctrl[:4096]
+		}
+		checkDiff(t, ctrl, len(ctrl), data, State{U: u0, V: v0})
+	})
+}

@@ -1,0 +1,22 @@
+//go:build linux
+
+package stream
+
+import "syscall"
+
+// madvise lives in its own linux-gated file rather than mmap_unix.go because
+// syscall.Madvise is not portable across every `unix` build target; on those
+// platforms (and everywhere without mmap) the hints are no-ops and the
+// readers behave identically, just without the readahead.
+
+// madviseSequential marks the mapping for sequential readahead. data must
+// start at the mapping base (page-aligned by construction).
+func madviseSequential(data []byte) {
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}
+
+// madviseWillNeed asks the kernel to start paging the range in. The caller
+// passes a slice whose start is page-aligned within the mapping.
+func madviseWillNeed(data []byte) {
+	_ = syscall.Madvise(data, syscall.MADV_WILLNEED)
+}

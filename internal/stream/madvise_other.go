@@ -1,0 +1,11 @@
+//go:build !linux
+
+package stream
+
+// No-op access-pattern hints for platforms without a (portable) madvise; see
+// madvise_linux.go. Readers behave identically either way — the hints only
+// shape readahead.
+
+func madviseSequential([]byte) {}
+
+func madviseWillNeed([]byte) {}

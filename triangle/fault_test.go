@@ -74,22 +74,30 @@ func TestFaultScheduleDoesNotChangeResult(t *testing.T) {
 		Kinds: []faultio.Kind{faultio.KindEIO, faultio.KindFailReset}}
 
 	type runner func(opts Options) (Result, error)
-	fileRunner := func(path string, mmap bool) runner {
+	fileRunner := func(path string, mmap, cache bool) runner {
 		return func(opts Options) (Result, error) {
 			opts.PreferMmap = mmap
+			opts.DecodeCache = cache
 			return EstimateFile(path, opts)
 		}
 	}
+	// The v2-family backends run twice: plain and with the decoded-block
+	// cache, whose insert-after-verified-decode invariant means a fault mid
+	// block never leaves a partial decode visible — so the faulted cached run
+	// must match its clean run exactly, like every other configuration.
 	sources := []struct {
 		name string
 		run  runner
 	}{
 		{"memory", func(opts Options) (Result, error) { return Estimate(edges, opts) }},
-		{"text", fileRunner(paths["text"], false)},
-		{"bex1", fileRunner(paths["bex1"], false)},
-		{"bex2", fileRunner(paths["bex2"], false)},
-		{"bex2-mmap", fileRunner(paths["bex2"], true)},
-		{"bexd", fileRunner(paths["bexd"], false)},
+		{"text", fileRunner(paths["text"], false, false)},
+		{"bex1", fileRunner(paths["bex1"], false, false)},
+		{"bex2", fileRunner(paths["bex2"], false, false)},
+		{"bex2-mmap", fileRunner(paths["bex2"], true, false)},
+		{"bexd", fileRunner(paths["bexd"], false, false)},
+		{"bex2/cache", fileRunner(paths["bex2"], false, true)},
+		{"bex2-mmap/cache", fileRunner(paths["bex2"], true, true)},
+		{"bexd/cache", fileRunner(paths["bexd"], false, true)},
 	}
 
 	totalRetries := 0
@@ -227,6 +235,64 @@ func TestCancellationAtEveryScan(t *testing.T) {
 	}
 }
 
+// TestCancellationWithDecodeCache sweeps the same cancellation points over a
+// .bex v2 file served with the decoded-block cache: every outcome must fall
+// in the same three classes, and — the cache invariant under test — a run
+// cancelled mid-scan must never leave a partially-decoded block behind for
+// later readers, so a clean run after the whole sweep still matches the
+// reference exactly.
+func TestCancellationWithDecodeCache(t *testing.T) {
+	edges := ClusteredPreferentialAttachment(800, 4, 0.5, 3)
+	raw := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		raw[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	path := filepath.Join(t.TempDir(), "g.bex")
+	if _, err := stream.WriteBex2File(path, stream.FromEdges(raw), 64); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Epsilon: 0.3, Seed: 5, Workers: 1, DecodeCache: true}
+
+	clean, err := EstimateFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k <= clean.Scans+2; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		kopts := opts
+		kopts.WrapStream = func(s stream.Stream) stream.Stream {
+			return &cancelAfter{inner: s, cancel: cancel, after: k}
+		}
+		res, err := EstimateFileCtx(ctx, path, kopts)
+		cancel()
+		switch {
+		case err == nil && !res.Partial:
+			if res.Estimate != clean.Estimate {
+				t.Fatalf("k=%d: clean result %v differs from reference %v", k, res.Estimate, clean.Estimate)
+			}
+		case err == nil && res.Partial:
+			if res.Estimate <= 0 {
+				t.Fatalf("k=%d: partial result carries no estimate: %+v", k, res)
+			}
+		default:
+			if !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrAborted) {
+				t.Fatalf("k=%d: unclassified cancellation error: %v", k, err)
+			}
+		}
+	}
+
+	// The cache is now warm with whatever the interrupted sweep runs left
+	// behind; a final run served from it must still realize the reference.
+	after, err := EstimateFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate != clean.Estimate || after.Passes != clean.Passes || after.Scans != clean.Scans {
+		t.Fatalf("post-sweep cached run diverged: %+v vs %+v", after, clean)
+	}
+}
+
 // TestDeadlineClassification pins the error taxonomy at the API boundary: an
 // expired deadline surfaces as core.ErrDeadline wrapping
 // context.DeadlineExceeded; a cancelled context as core.ErrAborted.
@@ -261,7 +327,9 @@ func TestChaosSmoke(t *testing.T) {
 		for name, path := range paths {
 			plan := faultio.Plan{Seed: seed, Every: 3, MaxFaults: 4, Stall: 100 * time.Microsecond,
 				Kinds: []faultio.Kind{faultio.KindEIO, faultio.KindFailReset, faultio.KindStall}}
-			opts := Options{Epsilon: 0.4, Seed: seed, Workers: 4}
+			// DecodeCache is on for the whole chaos sweep: formats without a
+			// block decoder ignore it, the v2 family runs it under fire.
+			opts := Options{Epsilon: 0.4, Seed: seed, Workers: 4, DecodeCache: true}
 			opts.WrapStream = func(s stream.Stream) stream.Stream { return faultio.New(s, plan) }
 			res, err := EstimateFileTrialsCtx(context.Background(), path, opts, 3)
 			if err != nil {

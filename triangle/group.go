@@ -29,6 +29,11 @@ type GroupOptions struct {
 	// PreferMmap serves .bex v2 files (and .bexd parts) through the
 	// mmap-backed reader; see Options.PreferMmap.
 	PreferMmap bool
+	// DecodeCache serves repeat block reads of .bex v2 files from the
+	// process-wide decoded-block cache; see Options.DecodeCache. A group is
+	// the cache's best customer: every request riding its shared scans
+	// re-reads the same blocks.
+	DecodeCache bool
 }
 
 // GroupKappa is the shared degeneracy resolution of a ScanGroup: the
@@ -92,7 +97,7 @@ func OpenScanGroup(ctx context.Context, path string, gopts GroupOptions) (*ScanG
 		ctx = context.Background()
 	}
 	retry := retryPolicy(Options{RetryAttempts: gopts.RetryAttempts})
-	fs, err := stream.OpenAutoPrefer(path, gopts.PreferMmap)
+	fs, err := stream.OpenAutoOpts(path, stream.OpenOptions{PreferMmap: gopts.PreferMmap, DecodeCache: gopts.DecodeCache})
 	if err != nil {
 		return nil, err
 	}

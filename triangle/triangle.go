@@ -80,6 +80,13 @@ type Options struct {
 	// Purely an I/O preference: estimates are bit-identical either way.
 	// Formats without an mmap reader (text, .bex v1) ignore it.
 	PreferMmap bool
+	// DecodeCache serves repeat block reads of .bex v2 inputs from the
+	// process-wide decoded-block cache (stream.SetDecodeCacheBudget sets
+	// the budget), so the 2nd..Nth pass of the multi-pass algorithm skips
+	// decode entirely. Purely a performance preference: estimates are
+	// bit-identical with the cache on or off, at any worker count. Formats
+	// without block decode (text, .bex v1) ignore it.
+	DecodeCache bool
 	// WrapStream, when non-nil, wraps every stream the estimator opens before
 	// any pass runs over it. This is a development hook — it exists for fault
 	// injection (internal/faultio, the hidden trianglecount -inject flag) and
@@ -291,7 +298,7 @@ func EstimateFile(path string, opts Options) (Result, error) {
 // EstimateFileCtx is EstimateFile honoring a context; see EstimateCtx for
 // the cancellation, degradation, and retry semantics.
 func EstimateFileCtx(ctx context.Context, path string, opts Options) (Result, error) {
-	fs, err := stream.OpenAutoPrefer(path, opts.PreferMmap)
+	fs, err := stream.OpenAutoOpts(path, stream.OpenOptions{PreferMmap: opts.PreferMmap, DecodeCache: opts.DecodeCache})
 	if err != nil {
 		return Result{}, err
 	}
